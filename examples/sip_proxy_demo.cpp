@@ -1,0 +1,62 @@
+// sip_proxy_demo — the paper's debugging process on the SIP proxy.
+//
+// Runs one SIPp test case against the proxy (with the full §4.1/§4.2 fault
+// catalogue seeded) under the three detector configurations and prints a
+// Fig. 6 row plus the full Helgrind-style log of the final configuration —
+// the artefacts a developer of the paper's proxy would look at.
+//
+// Usage: sip_proxy_demo [testcase 1..8] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sipp/experiment.hpp"
+#include "sipp/testcases.hpp"
+#include "support/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rg;
+  int testcase = 2;
+  std::uint64_t seed = 7;
+  if (argc > 1) testcase = std::atoi(argv[1]);
+  if (argc > 2) seed = std::strtoull(argv[2], nullptr, 10);
+  if (testcase < 1 || testcase > sipp::kTestCaseCount) {
+    std::fprintf(stderr, "testcase must be 1..%d\n", sipp::kTestCaseCount);
+    return 2;
+  }
+
+  const sipp::Scenario scenario = sipp::build_testcase(testcase, seed);
+  std::printf("Test case %s — %s (%zu messages, seed %llu)\n\n",
+              scenario.name.c_str(), sipp::testcase_description(testcase),
+              scenario.total_messages(),
+              static_cast<unsigned long long>(seed));
+
+  sipp::ExperimentConfig cfg;
+  cfg.seed = seed;
+
+  struct Run {
+    const char* name;
+    core::HelgrindConfig detector;
+  };
+  const Run runs[] = {
+      {"Original Helgrind", core::HelgrindConfig::original()},
+      {"HWLC  (bus-lock corrected)", core::HelgrindConfig::hwlc()},
+      {"HWLC+DR (+ destructor annotations)", core::HelgrindConfig::hwlc_dr()},
+  };
+
+  support::Table table("debugging runs");
+  table.header({"Configuration", "locations", "total warnings", "responses"});
+  std::string final_log;
+  for (const Run& run : runs) {
+    cfg.detector = run.detector;
+    const sipp::ExperimentResult result = sipp::run_scenario(scenario, cfg);
+    table.row(run.name, result.reported_locations, result.total_warnings,
+              result.responses);
+    final_log = result.report_text;
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("Remaining warnings under HWLC+DR (\"most of them are real "
+              "synchronization failures\"):\n\n%s",
+              final_log.c_str());
+  return 0;
+}

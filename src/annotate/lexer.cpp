@@ -1,0 +1,220 @@
+#include "annotate/lexer.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace rg::annotate {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+bool ident_cont(char c) {
+  return ident_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+/// Multi-character punctuators, longest first.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "<<", ">>", "<=", ">=", "==", "!=",
+    "&&",  "||",  "++",  "--",  "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",  "->",  ".*",  "##",
+};
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) {}
+
+  bool done() const { return pos_ >= src_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  std::size_t pos() const { return pos_; }
+  void advance(std::size_t n = 1) { pos_ += n; }
+
+  std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+ private:
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+void lex_string(Cursor& c, char quote) {
+  c.advance();  // opening quote
+  while (!c.done()) {
+    const char ch = c.peek();
+    if (ch == '\\') {
+      c.advance(2);
+      continue;
+    }
+    c.advance();
+    if (ch == quote || ch == '\n') return;  // tolerate unterminated
+  }
+}
+
+/// R"delim( ... )delim"
+void lex_raw_string(Cursor& c) {
+  c.advance();  // the opening "
+  std::string delim;
+  while (!c.done() && c.peek() != '(' && c.peek() != '\n') {
+    delim += c.peek();
+    c.advance();
+  }
+  if (c.done() || c.peek() != '(') return;  // malformed; give up gracefully
+  c.advance();
+  const std::string close = ")" + delim + "\"";
+  std::size_t matched = 0;
+  while (!c.done()) {
+    if (c.peek() == close[matched]) {
+      ++matched;
+      c.advance();
+      if (matched == close.size()) return;
+    } else {
+      // Restart matching; re-examine this char as a potential ')'.
+      if (matched > 0)
+        matched = 0;
+      else
+        c.advance();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  Cursor c(src);
+
+  auto emit = [&](TokKind kind, std::size_t from) {
+    out.push_back(Token{kind, c.slice(from), from});
+  };
+
+  while (!c.done()) {
+    const std::size_t start = c.pos();
+    const char ch = c.peek();
+
+    // Whitespace run.
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      while (!c.done() && std::isspace(static_cast<unsigned char>(c.peek())))
+        c.advance();
+      emit(TokKind::Whitespace, start);
+      continue;
+    }
+
+    // Preprocessor directive: # as the first non-blank character of a line.
+    bool at_line_start = true;
+    for (std::size_t i = start; i-- > 0;) {
+      if (src[i] == '\n') break;
+      if (src[i] != ' ' && src[i] != '\t') {
+        at_line_start = false;
+        break;
+      }
+    }
+    if (ch == '#' && at_line_start) {
+      // Consume to end of line, honouring backslash continuations.
+      while (!c.done()) {
+        if (c.peek() == '\\' && c.peek(1) == '\n') {
+          c.advance(2);
+          continue;
+        }
+        if (c.peek() == '\n') break;
+        c.advance();
+      }
+      emit(TokKind::Preprocessor, start);
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      while (!c.done() && c.peek() != '\n') c.advance();
+      emit(TokKind::Comment, start);
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      c.advance(2);
+      while (!c.done() && !(c.peek() == '*' && c.peek(1) == '/')) c.advance();
+      if (!c.done()) c.advance(2);
+      emit(TokKind::Comment, start);
+      continue;
+    }
+
+    // String / char literals, incl. prefixes (L, u8, R, uR, ...).
+    if (ch == '"' || ch == '\'') {
+      lex_string(c, ch);
+      emit(ch == '"' ? TokKind::String : TokKind::CharLit, start);
+      continue;
+    }
+    if (ident_start(ch)) {
+      // Could be a literal prefix.
+      std::size_t n = 0;
+      while (ident_cont(c.peek(n))) ++n;
+      const char quote = c.peek(n);
+      if (quote == '"' || quote == '\'') {
+        const std::string_view prefix = src.substr(start, n);
+        const bool raw = !prefix.empty() && prefix.back() == 'R';
+        if (quote == '"' &&
+            (prefix == "L" || prefix == "u" || prefix == "U" ||
+             prefix == "u8" || raw)) {
+          c.advance(n);
+          if (raw)
+            lex_raw_string(c);
+          else
+            lex_string(c, '"');
+          emit(TokKind::String, start);
+          continue;
+        }
+        if (quote == '\'' &&
+            (prefix == "L" || prefix == "u" || prefix == "U" ||
+             prefix == "u8")) {
+          c.advance(n);
+          lex_string(c, '\'');
+          emit(TokKind::CharLit, start);
+          continue;
+        }
+      }
+      // Ordinary identifier / keyword.
+      c.advance(n);
+      emit(TokKind::Identifier, start);
+      continue;
+    }
+
+    // Numbers (simplified pp-number: digits, dots, exponents, separators).
+    if (std::isdigit(static_cast<unsigned char>(ch)) ||
+        (ch == '.' && std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+      c.advance();
+      while (!c.done()) {
+        const char d = c.peek();
+        if (ident_cont(d) || d == '.' || d == '\'') {
+          const bool exp = (d == 'e' || d == 'E' || d == 'p' || d == 'P') &&
+                           (c.peek(1) == '+' || c.peek(1) == '-');
+          c.advance(exp ? 2 : 1);
+        } else {
+          break;
+        }
+      }
+      emit(TokKind::Number, start);
+      continue;
+    }
+
+    // Punctuators: longest match.
+    bool matched = false;
+    for (std::string_view p : kPuncts) {
+      if (src.substr(start, p.size()) == p) {
+        c.advance(p.size());
+        emit(TokKind::Punct, start);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    c.advance();
+    emit(TokKind::Punct, start);
+  }
+
+  out.push_back(Token{TokKind::End, src.substr(src.size(), 0), src.size()});
+  return out;
+}
+
+}  // namespace rg::annotate

@@ -1,0 +1,48 @@
+// A C++ token lexer.
+//
+// The paper's instrumentation stage parses preprocessed C++ with ELSA to
+// find every delete-expression. Wrapping a delete operand only requires
+// token-level structure, so this reproduction uses a faithful lexer (string
+// and character literals with escapes, raw strings, both comment forms,
+// preprocessor lines) feeding a small expression scanner — enough to handle
+// the unrestricted C++ the paper insists real code bases contain.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace rg::annotate {
+
+enum class TokKind : std::uint8_t {
+  Identifier,   // identifiers and keywords
+  Number,       // numeric literal (incl. hex/float/digit separators)
+  String,       // "..." or R"(...)" (with prefix)
+  CharLit,      // '...'
+  Punct,        // operator / punctuator, longest-match
+  Comment,      // // or /* */
+  Whitespace,   // runs of whitespace incl. newlines
+  Preprocessor, // a whole # line (with continuations)
+  End,
+};
+
+struct Token {
+  TokKind kind = TokKind::End;
+  /// View into the original source.
+  std::string_view text;
+  /// Byte offset of the token start in the original source.
+  std::size_t offset = 0;
+
+  bool is(std::string_view t) const { return text == t; }
+  bool significant() const {
+    return kind != TokKind::Comment && kind != TokKind::Whitespace &&
+           kind != TokKind::Preprocessor && kind != TokKind::End;
+  }
+};
+
+/// Tokenizes `src`. Every byte of the input is covered by exactly one token
+/// (lossless), so a rewriter can splice insertions by offset. Unterminated
+/// literals are tolerated (consumed to end of line/file).
+std::vector<Token> lex(std::string_view src);
+
+}  // namespace rg::annotate

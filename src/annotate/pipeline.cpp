@@ -1,0 +1,42 @@
+#include "annotate/pipeline.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rg::annotate {
+
+bool annotate_file(const std::string& input_path,
+                   const std::string& output_path,
+                   const RewriteOptions& options, PipelineStats& stats,
+                   std::string& error) {
+  std::ifstream in(input_path, std::ios::binary);
+  if (!in) {
+    error = "cannot open input: " + input_path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string src = buf.str();
+
+  const RewriteResult result = annotate_deletes(src, options);
+  ++stats.files_processed;
+  if (result.total() > 0) ++stats.files_changed;
+  stats.single_rewrites += result.single_rewrites;
+  stats.array_rewrites += result.array_rewrites;
+
+  if (output_path == "-") {
+    std::fwrite(result.text.data(), 1, result.text.size(), stdout);
+    return true;
+  }
+  std::ofstream out(output_path, std::ios::binary);
+  if (!out) {
+    error = "cannot open output: " + output_path;
+    return false;
+  }
+  out.write(result.text.data(),
+            static_cast<std::streamsize>(result.text.size()));
+  return true;
+}
+
+}  // namespace rg::annotate

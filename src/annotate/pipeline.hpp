@@ -1,0 +1,32 @@
+// The three-stage instrumentation pipeline driver (paper §3.3).
+//
+// "First, the GNU compiler is used to preprocess the source file. Then the
+// parser reads the preprocessed source file and generates the annotated
+// source file. In the third and last step, the compiler generates object
+// code" — here the stages are modelled as composable steps so the
+// rg-annotate tool and the tests can drive stage 2 (the contribution)
+// directly on files.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "annotate/rewrite.hpp"
+
+namespace rg::annotate {
+
+struct PipelineStats {
+  std::size_t files_processed = 0;
+  std::size_t files_changed = 0;
+  std::size_t single_rewrites = 0;
+  std::size_t array_rewrites = 0;
+};
+
+/// Reads `input_path`, annotates deletes, writes `output_path` ("-" for
+/// stdout). Returns false (with `error` set) on I/O failure.
+bool annotate_file(const std::string& input_path,
+                   const std::string& output_path,
+                   const RewriteOptions& options, PipelineStats& stats,
+                   std::string& error);
+
+}  // namespace rg::annotate

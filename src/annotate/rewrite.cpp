@@ -1,0 +1,126 @@
+#include "annotate/rewrite.hpp"
+
+#include <algorithm>
+
+#include "annotate/lexer.hpp"
+#include "support/assert.hpp"
+
+namespace rg::annotate {
+
+namespace {
+
+/// Index of the previous significant token before `i`, or npos.
+std::size_t prev_significant(const std::vector<Token>& toks, std::size_t i) {
+  while (i-- > 0)
+    if (toks[i].significant()) return i;
+  return static_cast<std::size_t>(-1);
+}
+
+/// Index of the next significant token at or after `i`, or the End token.
+std::size_t next_significant(const std::vector<Token>& toks, std::size_t i) {
+  while (i < toks.size() && !toks[i].significant()) ++i;
+  return std::min(i, toks.size() - 1);
+}
+
+bool opens(std::string_view t) { return t == "(" || t == "[" || t == "{"; }
+bool closes(std::string_view t) { return t == ")" || t == "]" || t == "}"; }
+
+/// Tokens that end a delete operand at depth 0 (cast-expression boundary).
+bool ends_operand(std::string_view t) {
+  return t == ";" || t == "," || t == ")" || t == "]" || t == "}" ||
+         t == "?" || t == ":";
+}
+
+struct Insertion {
+  std::size_t offset;
+  std::string text;
+};
+
+}  // namespace
+
+RewriteResult annotate_deletes(std::string_view src,
+                               const RewriteOptions& options) {
+  const std::vector<Token> toks = lex(src);
+  std::vector<Insertion> insertions;
+  RewriteResult result;
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    if (tok.kind != TokKind::Identifier || !tok.is("delete")) continue;
+
+    // `= delete` (deleted function) and `= delete("reason")`.
+    const std::size_t p = prev_significant(toks, i);
+    if (p != static_cast<std::size_t>(-1)) {
+      if (toks[p].is("=")) continue;
+      // `operator delete` / `operator delete[]` declarations or calls.
+      if (toks[p].is("operator")) continue;
+    }
+
+    // Optional [] of a delete[]-expression.
+    std::size_t j = next_significant(toks, i + 1);
+    bool is_array = false;
+    if (toks[j].is("[")) {
+      const std::size_t k = next_significant(toks, j + 1);
+      if (toks[k].is("]")) {
+        is_array = true;
+        j = next_significant(toks, k + 1);
+      }
+    }
+    if (toks[j].kind == TokKind::End) continue;  // stray `delete` at EOF
+
+    // Scan the operand (a cast-expression): until a depth-0 terminator.
+    int depth = 0;
+    std::size_t last_sig = j;
+    std::size_t k = j;
+    for (; k < toks.size(); ++k) {
+      const Token& t = toks[k];
+      if (!t.significant()) continue;
+      if (depth == 0 && ends_operand(t.text) && !opens(t.text)) break;
+      if (opens(t.text)) ++depth;
+      if (closes(t.text)) {
+        if (depth == 0) break;
+        --depth;
+      }
+      last_sig = k;
+      if (t.kind == TokKind::End) break;
+    }
+
+    const std::size_t operand_begin = toks[j].offset;
+    const std::size_t operand_end =
+        toks[last_sig].offset + toks[last_sig].text.size();
+    const std::string& wrapper =
+        is_array ? options.array_wrapper : options.single_wrapper;
+    insertions.push_back({operand_begin, wrapper + "("});
+    insertions.push_back({operand_end, ")"});
+    if (is_array)
+      ++result.array_rewrites;
+    else
+      ++result.single_rewrites;
+  }
+
+  // Splice insertions (already in ascending offset order; equal offsets
+  // keep recording order so a close-paren lands before a following open).
+  std::stable_sort(insertions.begin(), insertions.end(),
+                   [](const Insertion& a, const Insertion& b) {
+                     return a.offset < b.offset;
+                   });
+  std::string out;
+  out.reserve(src.size() + insertions.size() * 32 +
+              options.include_line.size() + 1);
+  if (result.total() > 0 && !options.include_line.empty()) {
+    out += options.include_line;
+    out += '\n';
+  }
+  std::size_t pos = 0;
+  for (const Insertion& ins : insertions) {
+    RG_ASSERT(ins.offset >= pos);
+    out.append(src.substr(pos, ins.offset - pos));
+    out.append(ins.text);
+    pos = ins.offset;
+  }
+  out.append(src.substr(pos));
+  result.text = std::move(out);
+  return result;
+}
+
+}  // namespace rg::annotate

@@ -1,0 +1,41 @@
+// The delete-expression rewriter (the paper's instrumentation stage).
+//
+// Transforms every delete-expression
+//     delete expr;        ->  delete  WRAP_SINGLE( expr );
+//     delete [] expr;     ->  delete[] WRAP_ARRAY( expr );
+// exactly as Fig. 4 shows, leaving everything else byte-identical, so the
+// pass can sit between preprocessing and compilation "without visible
+// modifications to the source code". Deleted functions (`= delete`),
+// operator delete declarations, and occurrences inside strings, comments
+// and preprocessor lines are left untouched.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rg::annotate {
+
+struct RewriteOptions {
+  /// Wrapper for `delete p`.
+  std::string single_wrapper = "::rg::annotate::ca_deletor_single";
+  /// Wrapper for `delete[] p`.
+  std::string array_wrapper = "::rg::annotate::ca_deletor_array";
+  /// Line prepended once to any file that was modified (the Fig. 4
+  /// `#include <valgrind/helgrind.h>` analogue). Empty disables.
+  std::string include_line = "#include \"annotate/runtime.hpp\"";
+};
+
+struct RewriteResult {
+  std::string text;
+  std::size_t single_rewrites = 0;
+  std::size_t array_rewrites = 0;
+  std::size_t total() const { return single_rewrites + array_rewrites; }
+};
+
+/// Annotates all delete-expressions in `src`.
+RewriteResult annotate_deletes(std::string_view src,
+                               const RewriteOptions& options = {});
+
+}  // namespace rg::annotate

@@ -1,0 +1,43 @@
+// Annotation runtime helpers — the Fig. 4 shim.
+//
+// `delete p` becomes `delete ca_deletor_single(p)`: the helper announces
+// the memory about to be destroyed to the race detector and hands the
+// pointer through. Under normal (uninstrumented) execution the underlying
+// client request "expands to a sequence of mnemonics that do nothing …
+// with negligible execution time", so the annotation can stay in
+// production code.
+#pragma once
+
+#include <cstddef>
+#include <source_location>
+
+#include "rt/memory.hpp"
+
+namespace rg::annotate {
+
+/// Announce destruction of a single object, then pass it to delete.
+template <class Type>
+inline Type* ca_deletor_single(
+    Type* object,
+    const std::source_location& loc = std::source_location::current()) {
+  if (object != nullptr)
+    rt::mem_destruct(object, static_cast<std::uint32_t>(sizeof(Type)), loc);
+  return object;
+}
+
+/// Announce destruction of an array, then pass it to delete[].
+///
+/// The element count of a delete[] operand is not recoverable at the call
+/// site (it lives in the allocator cookie), so — like the paper's tool —
+/// only the first element is announced; the detector extends the marking to
+/// the enclosing allocation when it knows it.
+template <class Type>
+inline Type* ca_deletor_array(
+    Type* array,
+    const std::source_location& loc = std::source_location::current()) {
+  if (array != nullptr)
+    rt::mem_destruct(array, static_cast<std::uint32_t>(sizeof(Type)), loc);
+  return array;
+}
+
+}  // namespace rg::annotate

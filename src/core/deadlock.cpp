@@ -1,0 +1,66 @@
+#include "core/deadlock.hpp"
+
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+namespace rg::core {
+
+DeadlockTool::DeadlockTool() : reports_("Helgrind") {}
+
+void DeadlockTool::on_pre_lock(rt::ThreadId tid, rt::LockId lock,
+                               rt::LockMode /*mode*/, support::SiteId site) {
+  for (const rt::HeldLock& held : rt_->held_locks(tid)) {
+    if (held.lock == lock) continue;
+    // Would edge held.lock -> lock close a cycle?
+    if (reaches(lock, held.lock) &&
+        !reported_pairs_.contains({std::min(held.lock, lock),
+                                   std::max(held.lock, lock)})) {
+      report_cycle(tid, held.lock, lock, site);
+      reported_pairs_.insert(
+          {std::min(held.lock, lock), std::max(held.lock, lock)});
+    }
+    auto& out = order_[held.lock];
+    if (!out.contains(lock)) out.emplace(lock, Edge{site, site});
+  }
+}
+
+bool DeadlockTool::reaches(rt::LockId from, rt::LockId to) const {
+  if (from == to) return true;
+  std::vector<rt::LockId> stack{from};
+  std::set<rt::LockId> seen{from};
+  while (!stack.empty()) {
+    const rt::LockId cur = stack.back();
+    stack.pop_back();
+    auto it = order_.find(cur);
+    if (it == order_.end()) continue;
+    for (const auto& [next, edge] : it->second) {
+      if (next == to) return true;
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void DeadlockTool::report_cycle(rt::ThreadId tid, rt::LockId held,
+                                rt::LockId wanted, support::SiteId site) {
+  Report r;
+  r.kind = Report::Kind::LockOrderInversion;
+  r.access.thread = tid;
+  r.access.site = site;
+  r.stack = rt_->stack_of(tid);
+  r.stack.insert(r.stack.begin(), site);
+  r.extra = "thread " + std::to_string(tid) + " acquires '" +
+            std::string(rt_->lock_name(wanted)) + "' while holding '" +
+            std::string(rt_->lock_name(held)) +
+            "', but the opposite order was also observed";
+  reports_.add(std::move(r));
+}
+
+std::size_t DeadlockTool::edge_count() const {
+  std::size_t n = 0;
+  for (const auto& [lock, out] : order_) n += out.size();
+  return n;
+}
+
+}  // namespace rg::core

@@ -1,0 +1,94 @@
+// HybridTool — lockset + happens-before combination (Multi-Race style,
+// paper §2.2).
+//
+// Multi-Race [13] and the hybrid detector of O'Callahan & Choi [12] combine
+// the lockset and vector-clock approaches: the lockset pass proposes
+// candidate locations (order-independent, over-approximate), the
+// happens-before pass classifies which of them actually manifested
+// unordered in the observed execution. This tool runs a HelgrindTool and a
+// DjitTool side by side on the same event stream and merges their verdicts
+// per location at finish.
+#pragma once
+
+#include <vector>
+
+#include "core/djit.hpp"
+#include "core/helgrind.hpp"
+#include "core/report.hpp"
+#include "rt/tool.hpp"
+
+namespace rg::core {
+
+struct HybridVerdict {
+  Report report;  // the lockset (or HB-only) report
+  /// Lockset flagged it AND the observed ordering was genuinely unordered.
+  bool confirmed = false;
+  /// Flagged only by happens-before (a race the lockset discipline hides,
+  /// e.g. accidental lock coincidence).
+  bool hb_only = false;
+};
+
+struct HybridConfig {
+  HelgrindConfig lockset;
+  DjitConfig hb;
+};
+
+class HybridTool : public rt::Tool {
+ public:
+  explicit HybridTool(const HybridConfig& config = {});
+
+  /// Merged per-location verdicts; valid after on_finish.
+  const std::vector<HybridVerdict>& verdicts() const { return verdicts_; }
+
+  std::size_t confirmed_count() const;
+  std::size_t possible_count() const;
+  std::size_t hb_only_count() const;
+
+  const HelgrindTool& lockset_tool() const { return lockset_; }
+  const DjitTool& hb_tool() const { return hb_; }
+
+  // Tool interface: forward everything to both sub-detectors. ------------
+  void on_attach(rt::Runtime& rt) override;
+  void on_thread_start(rt::ThreadId tid, rt::ThreadId parent,
+                       support::SiteId site) override;
+  void on_thread_exit(rt::ThreadId tid) override;
+  void on_thread_join(rt::ThreadId joiner, rt::ThreadId joined,
+                      support::SiteId site) override;
+  void on_lock_create(rt::LockId lock, support::Symbol name,
+                      bool is_rw) override;
+  void on_lock_destroy(rt::LockId lock) override;
+  void on_pre_lock(rt::ThreadId tid, rt::LockId lock, rt::LockMode mode,
+                   support::SiteId site) override;
+  void on_post_lock(rt::ThreadId tid, rt::LockId lock, rt::LockMode mode,
+                    support::SiteId site) override;
+  void on_unlock(rt::ThreadId tid, rt::LockId lock,
+                 support::SiteId site) override;
+  void on_cond_signal(rt::ThreadId tid, rt::SyncId cond,
+                      support::SiteId site) override;
+  void on_cond_wait_return(rt::ThreadId tid, rt::SyncId cond, rt::LockId lock,
+                           support::SiteId site) override;
+  void on_sem_post(rt::ThreadId tid, rt::SyncId sem, std::uint64_t token,
+                   support::SiteId site) override;
+  void on_sem_wait_return(rt::ThreadId tid, rt::SyncId sem,
+                          std::uint64_t token, support::SiteId site) override;
+  void on_queue_put(rt::ThreadId tid, rt::SyncId queue, std::uint64_t token,
+                    support::SiteId site) override;
+  void on_queue_get(rt::ThreadId tid, rt::SyncId queue, std::uint64_t token,
+                    support::SiteId site) override;
+  void on_access(const rt::MemoryAccess& access) override;
+  void on_alloc(rt::ThreadId tid, rt::Addr addr, std::uint32_t size,
+                support::SiteId site) override;
+  void on_free(rt::ThreadId tid, rt::Addr addr, std::uint32_t size,
+               support::SiteId site) override;
+  void on_destruct_annotation(rt::ThreadId tid, rt::Addr addr,
+                              std::uint32_t size,
+                              support::SiteId site) override;
+  void on_finish() override;
+
+ private:
+  HelgrindTool lockset_;
+  DjitTool hb_;
+  std::vector<HybridVerdict> verdicts_;
+};
+
+}  // namespace rg::core

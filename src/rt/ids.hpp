@@ -1,0 +1,65 @@
+// Identifier vocabulary shared by the runtime, the shadow state and the
+// detection tools.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <source_location>
+
+#include "support/site.hpp"
+
+namespace rg::rt {
+
+/// Dense thread id; the initial (main) simulated thread is 0.
+using ThreadId = std::uint32_t;
+constexpr ThreadId kNoThread = std::numeric_limits<ThreadId>::max();
+constexpr ThreadId kMainThread = 0;
+
+/// Dense id for a lock object (mutex or rw-mutex).
+using LockId = std::uint32_t;
+constexpr LockId kNoLock = std::numeric_limits<LockId>::max();
+
+/// Dense id for non-lock synchronisation objects (condvars, semaphores,
+/// message queues).
+using SyncId = std::uint32_t;
+
+/// Byte address in the program under test. Tracked cells use their real
+/// object address, so shadow memory maps genuine pointers.
+using Addr = std::uint64_t;
+
+/// How a lock is held. Shared is the read side of a rw-lock (and, in the
+/// HWLC model, the implicit read side of the hardware bus lock).
+enum class LockMode : std::uint8_t { Exclusive, Shared };
+
+enum class AccessKind : std::uint8_t { Read, Write };
+
+/// A single memory access event as seen by a detection tool.
+struct MemoryAccess {
+  ThreadId thread = kNoThread;
+  Addr addr = 0;
+  std::uint32_t size = 0;
+  AccessKind kind = AccessKind::Read;
+  /// True when the access carries the x86 LOCK prefix (bus-locked RMW).
+  /// Per the i386 specification only writes ever carry it.
+  bool bus_locked = false;
+  support::SiteId site = support::kUnknownSite;
+};
+
+inline const char* to_string(AccessKind k) {
+  return k == AccessKind::Read ? "read" : "write";
+}
+
+inline const char* to_string(LockMode m) {
+  return m == LockMode::Exclusive ? "exclusive" : "shared";
+}
+
+/// Interns a std::source_location into the global site registry. The
+/// instrumented API takes defaulted source_location parameters so every
+/// event carries the client code position, like Valgrind's debug-info
+/// lookup does for Helgrind.
+inline support::SiteId site_of(const std::source_location& loc) {
+  return support::site_id(loc.function_name(), loc.file_name(), loc.line());
+}
+
+}  // namespace rg::rt
+

@@ -1,0 +1,131 @@
+#include "rt/memory.hpp"
+
+#include <new>
+
+#include "support/assert.hpp"
+
+namespace rg::rt {
+
+namespace {
+
+void emit_access(const void* p, std::uint32_t size, AccessKind kind,
+                 bool bus_locked, const std::source_location& loc) {
+  Sim* sim = Sim::current();
+  if (sim == nullptr) return;
+  if (sim->sched().tearing_down()) return;
+  sim->sched().preempt();
+  MemoryAccess a;
+  a.thread = sim->sched().current();
+  a.addr = reinterpret_cast<Addr>(p);
+  a.size = size;
+  a.kind = kind;
+  a.bus_locked = bus_locked;
+  a.site = site_of(loc);
+  sim->runtime().access(a);
+}
+
+/// operator new cannot see the construction site; it parks the block here
+/// for the instrumented_object constructor (same thread, immediately after)
+/// to register with a meaningful site.
+thread_local struct {
+  void* ptr = nullptr;
+  std::size_t size = 0;
+} g_pending_alloc;
+
+}  // namespace
+
+void mem_read(const void* p, std::uint32_t size,
+              const std::source_location& loc) {
+  emit_access(p, size, AccessKind::Read, /*bus_locked=*/false, loc);
+}
+
+void mem_write(const void* p, std::uint32_t size,
+               const std::source_location& loc) {
+  emit_access(p, size, AccessKind::Write, /*bus_locked=*/false, loc);
+}
+
+void mem_write_locked(const void* p, std::uint32_t size,
+                      const std::source_location& loc) {
+  emit_access(p, size, AccessKind::Write, /*bus_locked=*/true, loc);
+}
+
+void mem_alloc(const void* p, std::uint32_t size,
+               const std::source_location& loc) {
+  Sim* sim = Sim::current();
+  if (sim == nullptr || sim->sched().tearing_down()) return;
+  sim->runtime().alloc(sim->sched().current(), reinterpret_cast<Addr>(p), size,
+                       site_of(loc));
+}
+
+void mem_free(const void* p, const std::source_location& loc) {
+  Sim* sim = Sim::current();
+  if (sim == nullptr || sim->sched().tearing_down()) return;
+  sim->runtime().free(sim->sched().current(), reinterpret_cast<Addr>(p),
+                      site_of(loc));
+}
+
+void mem_destruct(const void* p, std::uint32_t size,
+                  const std::source_location& loc) {
+  Sim* sim = Sim::current();
+  if (sim == nullptr || sim->sched().tearing_down()) return;
+  sim->runtime().destruct_annotation(sim->sched().current(),
+                                     reinterpret_cast<Addr>(p), size,
+                                     site_of(loc));
+}
+
+// --- instrumented_object ------------------------------------------------------
+
+void* instrumented_object::operator new(std::size_t size) {
+  void* p = ::operator new(size);
+  g_pending_alloc.ptr = p;
+  g_pending_alloc.size = size;
+  return p;
+}
+
+void instrumented_object::operator delete(void* p, std::size_t size) {
+  mem_free(p, std::source_location::current());
+  (void)size;
+  ::operator delete(p);
+}
+
+instrumented_object::instrumented_object(const std::source_location& loc) {
+  // Register the whole most-derived block if we were just heap-allocated.
+  if (g_pending_alloc.ptr == static_cast<void*>(this)) {
+    mem_alloc(g_pending_alloc.ptr,
+              static_cast<std::uint32_t>(g_pending_alloc.size), loc);
+    g_pending_alloc.ptr = nullptr;
+    g_pending_alloc.size = 0;
+  }
+}
+
+instrumented_object::~instrumented_object() { vptr_write(); }
+
+void instrumented_object::vptr_write(const std::source_location& loc) {
+  // The compiler resets the vptr (the first word of the object) when
+  // entering each destructor of the chain.
+  mem_write(this, sizeof(void*), loc);
+}
+
+void instrumented_object::virtual_dispatch(
+    const std::source_location& loc) const {
+  mem_read(this, sizeof(void*), loc);
+}
+
+// --- FuncFrame ------------------------------------------------------------------
+
+FuncFrame::FuncFrame(const std::source_location& loc) {
+  sim_ = Sim::current();
+  if (sim_ == nullptr || sim_->sched().tearing_down()) {
+    sim_ = nullptr;
+    return;
+  }
+  tid_ = sim_->sched().current();
+  sim_->runtime().push_frame(tid_, site_of(loc));
+}
+
+FuncFrame::~FuncFrame() {
+  if (sim_ == nullptr || sim_->sched().tearing_down()) return;
+  sim_->runtime().pop_frame(tid_);
+}
+
+}  // namespace rg::rt

@@ -1,0 +1,222 @@
+// Tracked memory — the client-request surface of the instrumentation.
+//
+// Under Valgrind every load and store of the client binary is visible to the
+// tool. At the library level we get the same effect by routing the shared
+// state of the program under test through these wrappers, which raise
+// on_access / on_alloc / on_free events carrying the *real* address of the
+// data, so shadow memory indexes genuine pointers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <source_location>
+#include <type_traits>
+#include <utility>
+
+#include "rt/ids.hpp"
+#include "rt/sim.hpp"
+
+namespace rg::rt {
+
+// --- raw event helpers -------------------------------------------------------
+
+/// Reports a plain read of [p, p+size). No-op outside a Sim.
+void mem_read(const void* p, std::uint32_t size, const std::source_location& loc);
+
+/// Reports a plain write.
+void mem_write(const void* p, std::uint32_t size,
+               const std::source_location& loc);
+
+/// Reports a bus-locked (x86 LOCK prefix) write — the RMW half of an atomic
+/// operation. Per the i386 spec only writes carry the prefix.
+void mem_write_locked(const void* p, std::uint32_t size,
+                      const std::source_location& loc);
+
+/// Registers a heap block with the runtime (malloc/new intercept).
+void mem_alloc(const void* p, std::uint32_t size,
+               const std::source_location& loc);
+
+/// Unregisters a heap block (free/delete intercept).
+void mem_free(const void* p, const std::source_location& loc);
+
+/// The paper's VALGRIND_HG_DESTRUCT client request: [p, p+size) is about to
+/// be destroyed by the calling thread. Expands to nothing outside a Sim —
+/// "a no-op under normal program execution with negligible execution time".
+void mem_destruct(const void* p, std::uint32_t size,
+                  const std::source_location& loc);
+
+// --- tracked scalar ------------------------------------------------------------
+
+/// A shared scalar whose every access is visible to the detector.
+template <typename T>
+class tracked {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  tracked() = default;
+  explicit tracked(T v) : v_(v) {}
+
+  // Deliberately non-copyable: copying shared state should be an explicit
+  // load/store pair the detector can see.
+  tracked(const tracked&) = delete;
+  tracked& operator=(const tracked&) = delete;
+
+  T load(const std::source_location& loc =
+             std::source_location::current()) const {
+    mem_read(&v_, sizeof(T), loc);
+    return v_;
+  }
+
+  void store(T v, const std::source_location& loc =
+                      std::source_location::current()) {
+    mem_write(&v_, sizeof(T), loc);
+    v_ = v;
+  }
+
+  /// Address identity used by shadow memory.
+  const void* address() const { return &v_; }
+
+ private:
+  T v_{};
+};
+
+// --- bus-locked cell -------------------------------------------------------------
+
+/// An integer cell manipulated the way libstdc++'s COW string manipulates
+/// its reference counter: RMW updates carry the LOCK prefix, while
+/// predicate reads (is-shared checks) are plain unlocked loads. The
+/// detector's treatment of this cell is exactly the Figs. 8/9 experiment.
+///
+/// The backing storage is a genuine std::atomic — exactly like the real
+/// counter, which IS correct thanks to the bus lock; the detector only
+/// sees the event stream. This also keeps teardown unwinding safe.
+template <typename T>
+class atomic_cell {
+  static_assert(std::is_integral_v<T>);
+
+ public:
+  atomic_cell() = default;
+  explicit atomic_cell(T v) : v_(v) {}
+
+  atomic_cell(const atomic_cell&) = delete;
+  atomic_cell& operator=(const atomic_cell&) = delete;
+
+  /// Plain (non-LOCKed) read — the i386 spec does not require the prefix
+  /// for reads, and compilers do not emit it.
+  T load(const std::source_location& loc =
+             std::source_location::current()) const {
+    mem_read(&v_, sizeof(T), loc);
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  /// Bus-locked read-modify-write (lock xadd). Returns the old value.
+  T fetch_add(T delta, const std::source_location& loc =
+                           std::source_location::current()) {
+    mem_write_locked(&v_, sizeof(T), loc);
+    return v_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+
+  /// Bus-locked store (xchg).
+  void store(T v, const std::source_location& loc =
+                      std::source_location::current()) {
+    mem_write_locked(&v_, sizeof(T), loc);
+    v_.store(v, std::memory_order_release);
+  }
+
+  const void* address() const { return &v_; }
+
+ private:
+  std::atomic<T> v_{};
+};
+
+// --- container access marker -------------------------------------------------------
+
+/// Stand-in for the interior of a container: methods that read the
+/// container touch the marker with a read, mutating methods with a write.
+/// This is the granularity at which Helgrind effectively sees std::map
+/// nodes in the paper's proxy.
+class access_marker {
+ public:
+  void read(const std::source_location& loc =
+                std::source_location::current()) const {
+    mem_read(&body_, 1, loc);
+  }
+  void write(const std::source_location& loc =
+                 std::source_location::current()) {
+    mem_write(&body_, 1, loc);
+  }
+  const void* address() const { return &body_; }
+
+ private:
+  char body_ = 0;
+};
+
+// --- polymorphic object base ----------------------------------------------------
+
+/// Base class for the program under test's polymorphic heap objects.
+///
+/// Emulates the two properties of real C++ objects the paper's DR
+/// improvement is about: (1) `new`/`delete` are visible as alloc/free
+/// events, and (2) each destructor in the chain rewrites the vptr — a
+/// *write to the object's memory* that original Helgrind flags as a race.
+/// Every class in an instrumented hierarchy calls `vptr_write()` in its
+/// destructor body, giving each class its own warning site like the
+/// compiler-generated default destructors in §4.2.1.
+class instrumented_object {
+ public:
+  static void* operator new(std::size_t size);
+  static void operator delete(void* p, std::size_t size);
+
+  virtual ~instrumented_object();
+
+ protected:
+  instrumented_object(
+      const std::source_location& loc = std::source_location::current());
+
+  /// Emits the vptr-update write the compiler performs when destroying this
+  /// level of the hierarchy.
+  void vptr_write(
+      const std::source_location& loc = std::source_location::current());
+
+ public:
+  /// Emits the vptr *read* every virtual call performs at its call site.
+  /// This is what moves a polymorphic object's header into the SHARED
+  /// state, setting up the destructor false positive of §4.2.1: call it at
+  /// the top of virtual method bodies of the program under test.
+  void virtual_dispatch(
+      const std::source_location& loc = std::source_location::current()) const;
+};
+
+/// The paper's Fig. 4 helper: announce the memory about to be destroyed to
+/// the race detector, then hand the pointer on to `delete`. Inserted
+/// automatically by the rg-annotate instrumentation pass; callable by hand.
+template <typename Type>
+inline Type* annotate_destruct(
+    Type* object,
+    const std::source_location& loc = std::source_location::current()) {
+  if (object != nullptr) mem_destruct(object, sizeof(Type), loc);
+  return object;
+}
+
+// --- shadow call-stack frame -------------------------------------------------------
+
+/// RAII marker pushing a frame on the current thread's shadow call stack so
+/// reports can print Helgrind-style backtraces. Place one at the top of
+/// interesting functions of the program under test (RG_FRAME()).
+class FuncFrame {
+ public:
+  explicit FuncFrame(
+      const std::source_location& loc = std::source_location::current());
+  ~FuncFrame();
+
+  FuncFrame(const FuncFrame&) = delete;
+  FuncFrame& operator=(const FuncFrame&) = delete;
+
+ private:
+  Sim* sim_ = nullptr;
+  ThreadId tid_ = kNoThread;
+};
+
+}  // namespace rg::rt
+
+#define RG_FRAME() ::rg::rt::FuncFrame rg_frame_marker_ {}

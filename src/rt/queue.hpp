@@ -1,0 +1,130 @@
+// Instrumented bounded message queue.
+//
+// This is the "put/get" hand-off primitive of the thread-pool pattern in
+// Figs. 10/11: accesses to a message are clearly separated by the put and
+// get operations, but the baseline lockset algorithm does not know that.
+// Each element carries a token pairing its put with the get that receives
+// it, so the extended detector (hb_message_passing) can derive the ordering
+// the paper lists as future work.
+#pragma once
+
+#include <deque>
+#include <source_location>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "rt/ids.hpp"
+#include "rt/sim.hpp"
+#include "rt/sync.hpp"
+
+namespace rg::rt {
+
+template <typename T>
+class message_queue {
+ public:
+  explicit message_queue(std::string_view name = "queue",
+                         std::size_t capacity = SIZE_MAX)
+      : name_(name), capacity_(capacity), sim_(Sim::current()) {
+    if (sim_ != nullptr) id_ = sim_->runtime().register_sync(name_);
+  }
+
+  message_queue(const message_queue&) = delete;
+  message_queue& operator=(const message_queue&) = delete;
+
+  /// Blocks while the queue is full. Raises on_queue_put.
+  void put(T value,
+           const std::source_location& loc = std::source_location::current()) {
+    if (sim_ == nullptr) {
+      std::unique_lock lock(native_mu_);
+      native_cv_.wait(lock, [&] { return items_.size() < capacity_; });
+      items_.emplace_back(0, std::move(value));
+      native_cv_.notify_all();
+      return;
+    }
+    if (sim_->sched().tearing_down()) return;  // unwind tolerance
+    const ThreadId me = Sim::current_thread();
+    sim_->sched().preempt();
+    while (items_.size() >= capacity_) {
+      put_waiters_.push_back(me);
+      sim_->sched().block("queue '" + name_ + "' full");
+    }
+    const std::uint64_t token = next_token_++;
+    items_.emplace_back(token, std::move(value));
+    sim_->runtime().queue_put(me, id_, token, site_of(loc));
+    wake(get_waiters_);
+    sim_->sched().preempt();
+  }
+
+  /// Blocks while the queue is empty; returns false once the queue is
+  /// closed and drained. Raises on_queue_get with the matching put token.
+  bool get(T& out,
+           const std::source_location& loc = std::source_location::current()) {
+    if (sim_ == nullptr) {
+      std::unique_lock lock(native_mu_);
+      native_cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (items_.empty()) return false;
+      out = std::move(items_.front().second);
+      items_.pop_front();
+      native_cv_.notify_all();
+      return true;
+    }
+    if (sim_->sched().tearing_down()) return false;  // unwind tolerance
+    const ThreadId me = Sim::current_thread();
+    sim_->sched().preempt();
+    while (items_.empty()) {
+      if (closed_) return false;
+      get_waiters_.push_back(me);
+      sim_->sched().block("queue '" + name_ + "' empty");
+    }
+    auto [token, value] = std::move(items_.front());
+    items_.pop_front();
+    out = std::move(value);
+    sim_->runtime().queue_get(me, id_, token, site_of(loc));
+    wake(put_waiters_);
+    return true;
+  }
+
+  /// Unblocks all getters; subsequent get() on an empty queue returns
+  /// false.
+  void close() {
+    if (sim_ == nullptr) {
+      std::lock_guard lock(native_mu_);
+      closed_ = true;
+      native_cv_.notify_all();
+      return;
+    }
+    if (sim_->sched().tearing_down()) return;  // unwind tolerance
+    closed_ = true;
+    wake(get_waiters_);
+    sim_->sched().preempt();
+  }
+
+  std::size_t size() const {
+    if (sim_ == nullptr) {
+      std::lock_guard lock(native_mu_);
+      return items_.size();
+    }
+    return items_.size();
+  }
+
+ private:
+  void wake(std::vector<ThreadId>& queue) {
+    for (ThreadId tid : queue) sim_->sched().unblock(tid);
+    queue.clear();
+  }
+
+  std::string name_;
+  std::size_t capacity_;
+  Sim* sim_ = nullptr;
+  SyncId id_ = 0;
+  std::uint64_t next_token_ = 1;
+  std::deque<std::pair<std::uint64_t, T>> items_;
+  bool closed_ = false;
+  std::vector<ThreadId> put_waiters_;
+  std::vector<ThreadId> get_waiters_;
+  mutable std::mutex native_mu_;
+  std::condition_variable native_cv_;
+};
+
+}  // namespace rg::rt

@@ -1,0 +1,220 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+
+namespace rg::rt {
+
+std::string AddrOrigin::describe() const {
+  if (!known) return "in unallocated or untracked memory";
+  std::string out = "is " + std::to_string(offset) +
+                    " bytes inside a block of size " +
+                    std::to_string(alloc.size) + " alloc'd by thread " +
+                    std::to_string(alloc.thread) + " at " +
+                    support::global_sites().describe(alloc.site);
+  return out;
+}
+
+Runtime::Runtime() = default;
+
+void Runtime::attach(Tool& tool) {
+  tools_.push_back(&tool);
+  tool.on_attach(*this);
+}
+
+ThreadId Runtime::register_thread(std::string_view name, ThreadId parent,
+                                  support::SiteId site) {
+  const auto tid = static_cast<ThreadId>(threads_.size());
+  ThreadInfo info;
+  info.name = std::string(name);
+  info.parent = parent;
+  threads_.push_back(std::move(info));
+  for (Tool* t : tools_) t->on_thread_start(tid, parent, site);
+  return tid;
+}
+
+void Runtime::thread_exited(ThreadId tid) {
+  thread(tid).alive = false;
+  for (Tool* t : tools_) t->on_thread_exit(tid);
+}
+
+void Runtime::thread_joined(ThreadId joiner, ThreadId joined,
+                            support::SiteId site) {
+  for (Tool* t : tools_) t->on_thread_join(joiner, joined, site);
+}
+
+std::string_view Runtime::thread_name(ThreadId tid) const {
+  return thread(tid).name;
+}
+
+bool Runtime::thread_alive(ThreadId tid) const { return thread(tid).alive; }
+
+LockId Runtime::register_lock(std::string_view name, bool is_rw) {
+  const auto id = static_cast<LockId>(locks_.size());
+  locks_.push_back(LockInfo{support::intern(name), is_rw, true});
+  for (Tool* t : tools_) t->on_lock_create(id, locks_.back().name, is_rw);
+  return id;
+}
+
+void Runtime::lock_destroyed(LockId lock) {
+  RG_ASSERT(lock < locks_.size());
+  locks_[lock].alive = false;
+  for (Tool* t : tools_) t->on_lock_destroy(lock);
+}
+
+void Runtime::pre_lock(ThreadId tid, LockId lock, LockMode mode,
+                       support::SiteId site) {
+  ++sync_events_;
+  for (Tool* t : tools_) t->on_pre_lock(tid, lock, mode, site);
+}
+
+void Runtime::post_lock(ThreadId tid, LockId lock, LockMode mode,
+                        support::SiteId site) {
+  auto& held = thread(tid).held;
+  auto it = std::find_if(held.begin(), held.end(),
+                         [&](const HeldLock& h) { return h.lock == lock; });
+  if (it != held.end()) {
+    ++it->count;
+    // Upgrades are not modelled; keep the strongest mode seen.
+    if (mode == LockMode::Exclusive) it->mode = LockMode::Exclusive;
+  } else {
+    held.push_back(HeldLock{lock, mode, 1});
+  }
+  for (Tool* t : tools_) t->on_post_lock(tid, lock, mode, site);
+}
+
+void Runtime::unlock(ThreadId tid, LockId lock, support::SiteId site) {
+  ++sync_events_;
+  auto& held = thread(tid).held;
+  auto it = std::find_if(held.begin(), held.end(),
+                         [&](const HeldLock& h) { return h.lock == lock; });
+  RG_ASSERT_MSG(it != held.end(), "unlock of a lock not held");
+  if (--it->count == 0) {
+    *it = held.back();
+    held.pop_back();
+  }
+  for (Tool* t : tools_) t->on_unlock(tid, lock, site);
+}
+
+const support::small_vector<HeldLock, 4>& Runtime::held_locks(
+    ThreadId tid) const {
+  return thread(tid).held;
+}
+
+std::string_view Runtime::lock_name(LockId lock) const {
+  RG_ASSERT(lock < locks_.size());
+  return support::symbol_text(locks_[lock].name);
+}
+
+SyncId Runtime::register_sync(std::string_view name) {
+  const auto id = static_cast<SyncId>(syncs_.size());
+  syncs_.push_back(support::intern(name));
+  return id;
+}
+
+std::string_view Runtime::sync_name(SyncId id) const {
+  RG_ASSERT(id < syncs_.size());
+  return support::symbol_text(syncs_[id]);
+}
+
+void Runtime::cond_signal(ThreadId tid, SyncId cond, support::SiteId site) {
+  ++sync_events_;
+  for (Tool* t : tools_) t->on_cond_signal(tid, cond, site);
+}
+
+void Runtime::cond_wait_return(ThreadId tid, SyncId cond, LockId lock,
+                               support::SiteId site) {
+  ++sync_events_;
+  for (Tool* t : tools_) t->on_cond_wait_return(tid, cond, lock, site);
+}
+
+void Runtime::sem_post(ThreadId tid, SyncId sem, std::uint64_t token,
+                       support::SiteId site) {
+  ++sync_events_;
+  for (Tool* t : tools_) t->on_sem_post(tid, sem, token, site);
+}
+
+void Runtime::sem_wait_return(ThreadId tid, SyncId sem, std::uint64_t token,
+                              support::SiteId site) {
+  ++sync_events_;
+  for (Tool* t : tools_) t->on_sem_wait_return(tid, sem, token, site);
+}
+
+void Runtime::queue_put(ThreadId tid, SyncId queue, std::uint64_t token,
+                        support::SiteId site) {
+  ++sync_events_;
+  for (Tool* t : tools_) t->on_queue_put(tid, queue, token, site);
+}
+
+void Runtime::queue_get(ThreadId tid, SyncId queue, std::uint64_t token,
+                        support::SiteId site) {
+  ++sync_events_;
+  for (Tool* t : tools_) t->on_queue_get(tid, queue, token, site);
+}
+
+void Runtime::access(const MemoryAccess& a) {
+  ++access_events_;
+  for (Tool* t : tools_) t->on_access(a);
+}
+
+void Runtime::alloc(ThreadId tid, Addr addr, std::uint32_t size,
+                    support::SiteId site) {
+  AllocInfo info{addr, size, site, tid, ++alloc_seq_};
+  live_allocs_[addr] = info;
+  for (Tool* t : tools_) t->on_alloc(tid, addr, size, site);
+}
+
+void Runtime::free(ThreadId tid, Addr addr, support::SiteId site) {
+  auto it = live_allocs_.find(addr);
+  RG_ASSERT_MSG(it != live_allocs_.end(), "free of unknown allocation");
+  const std::uint32_t size = it->second.size;
+  dead_allocs_[addr] = it->second;
+  live_allocs_.erase(it);
+  for (Tool* t : tools_) t->on_free(tid, addr, size, site);
+}
+
+void Runtime::destruct_annotation(ThreadId tid, Addr addr, std::uint32_t size,
+                                  support::SiteId site) {
+  for (Tool* t : tools_) t->on_destruct_annotation(tid, addr, size, site);
+}
+
+AddrOrigin Runtime::origin_of(Addr addr) const {
+  AddrOrigin out;
+  auto locate = [&](const std::map<Addr, AllocInfo>& allocs) -> bool {
+    auto it = allocs.upper_bound(addr);
+    if (it == allocs.begin()) return false;
+    --it;
+    const AllocInfo& a = it->second;
+    if (addr >= a.base + a.size) return false;
+    out.known = true;
+    out.offset = addr - a.base;
+    out.alloc = a;
+    return true;
+  };
+  if (!locate(live_allocs_)) locate(dead_allocs_);
+  return out;
+}
+
+void Runtime::push_frame(ThreadId tid, support::SiteId site) {
+  thread(tid).stack.push_back(site);
+}
+
+void Runtime::pop_frame(ThreadId tid) {
+  auto& stack = thread(tid).stack;
+  RG_ASSERT_MSG(!stack.empty(), "frame pop on empty shadow stack");
+  stack.pop_back();
+}
+
+std::vector<support::SiteId> Runtime::stack_of(ThreadId tid) const {
+  const auto& stack = thread(tid).stack;
+  std::vector<support::SiteId> out(stack.size());
+  // Innermost first, like a backtrace.
+  for (std::size_t i = 0; i < stack.size(); ++i)
+    out[i] = stack[stack.size() - 1 - i];
+  return out;
+}
+
+void Runtime::finish() {
+  for (Tool* t : tools_) t->on_finish();
+}
+
+}  // namespace rg::rt

@@ -1,0 +1,165 @@
+// The runtime core.
+//
+// Plays the role of the Valgrind core in the paper's architecture: it owns
+// the registry of threads, locks and live allocations, tags every event with
+// bookkeeping (held-lock sets, shadow call stacks) and fans events out to
+// the attached tools. It performs no detection itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/ids.hpp"
+#include "rt/tool.hpp"
+#include "support/assert.hpp"
+#include "support/intern.hpp"
+#include "support/small_vector.hpp"
+
+namespace rg::rt {
+
+/// One entry of a thread's held-lock multiset.
+struct HeldLock {
+  LockId lock = kNoLock;
+  LockMode mode = LockMode::Exclusive;
+  /// Recursion depth (rw-locks may be read-held multiple times in POSIX).
+  std::uint32_t count = 1;
+};
+
+/// A live heap allocation known to the runtime.
+struct AllocInfo {
+  Addr base = 0;
+  std::uint32_t size = 0;
+  support::SiteId site = support::kUnknownSite;
+  ThreadId thread = kNoThread;
+  /// Monotonic allocation sequence number; distinguishes reuses of the same
+  /// address range.
+  std::uint64_t seq = 0;
+};
+
+/// Human-readable description of an address, mirroring Helgrind's
+/// "Address A is N bytes inside a block of size S alloc'd by thread T".
+struct AddrOrigin {
+  bool known = false;
+  std::uint64_t offset = 0;
+  AllocInfo alloc;
+  std::string describe() const;
+};
+
+class Runtime {
+ public:
+  Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- tool management ---------------------------------------------------
+  /// Attaches a tool; the caller keeps ownership and must outlive the run.
+  void attach(Tool& tool);
+  std::size_t tool_count() const { return tools_.size(); }
+
+  // --- thread registry ---------------------------------------------------
+  /// Registers a new thread and returns its dense id. Raises
+  /// on_thread_start on all tools.
+  ThreadId register_thread(std::string_view name, ThreadId parent,
+                           support::SiteId site);
+  void thread_exited(ThreadId tid);
+  void thread_joined(ThreadId joiner, ThreadId joined, support::SiteId site);
+
+  std::size_t thread_count() const { return threads_.size(); }
+  std::string_view thread_name(ThreadId tid) const;
+  bool thread_alive(ThreadId tid) const;
+
+  // --- locks ---------------------------------------------------------------
+  LockId register_lock(std::string_view name, bool is_rw);
+  void lock_destroyed(LockId lock);
+  void pre_lock(ThreadId tid, LockId lock, LockMode mode, support::SiteId site);
+  void post_lock(ThreadId tid, LockId lock, LockMode mode,
+                 support::SiteId site);
+  void unlock(ThreadId tid, LockId lock, support::SiteId site);
+
+  /// The Eraser locks_held(t): every lock currently held by `tid`, with the
+  /// strongest mode it is held in.
+  const support::small_vector<HeldLock, 4>& held_locks(ThreadId tid) const;
+  std::string_view lock_name(LockId lock) const;
+  std::size_t lock_count() const { return locks_.size(); }
+
+  // --- other sync objects --------------------------------------------------
+  SyncId register_sync(std::string_view name);
+  std::string_view sync_name(SyncId id) const;
+  void cond_signal(ThreadId tid, SyncId cond, support::SiteId site);
+  void cond_wait_return(ThreadId tid, SyncId cond, LockId lock,
+                        support::SiteId site);
+  void sem_post(ThreadId tid, SyncId sem, std::uint64_t token,
+                support::SiteId site);
+  void sem_wait_return(ThreadId tid, SyncId sem, std::uint64_t token,
+                       support::SiteId site);
+  void queue_put(ThreadId tid, SyncId queue, std::uint64_t token,
+                 support::SiteId site);
+  void queue_get(ThreadId tid, SyncId queue, std::uint64_t token,
+                 support::SiteId site);
+
+  // --- memory ----------------------------------------------------------------
+  void access(const MemoryAccess& a);
+  void alloc(ThreadId tid, Addr addr, std::uint32_t size, support::SiteId site);
+  void free(ThreadId tid, Addr addr, support::SiteId site);
+  void destruct_annotation(ThreadId tid, Addr addr, std::uint32_t size,
+                           support::SiteId site);
+
+  /// Locates the live (or most recent) allocation containing `addr`.
+  AddrOrigin origin_of(Addr addr) const;
+
+  // --- shadow call stacks --------------------------------------------------
+  void push_frame(ThreadId tid, support::SiteId site);
+  void pop_frame(ThreadId tid);
+  /// Innermost-first call stack of `tid` (most recent frame at index 0).
+  std::vector<support::SiteId> stack_of(ThreadId tid) const;
+
+  // --- run lifecycle ---------------------------------------------------------
+  /// Signals end-of-execution to all tools.
+  void finish();
+
+  // --- statistics --------------------------------------------------------------
+  std::uint64_t access_events() const { return access_events_; }
+  std::uint64_t sync_events() const { return sync_events_; }
+
+ private:
+  struct ThreadInfo {
+    std::string name;
+    ThreadId parent = kNoThread;
+    bool alive = true;
+    support::small_vector<HeldLock, 4> held;
+    support::small_vector<support::SiteId, 16> stack;
+  };
+
+  struct LockInfo {
+    support::Symbol name = 0;
+    bool is_rw = false;
+    bool alive = true;
+  };
+
+  ThreadInfo& thread(ThreadId tid) {
+    RG_ASSERT_MSG(tid < threads_.size(), "unknown thread id");
+    return threads_[tid];
+  }
+  const ThreadInfo& thread(ThreadId tid) const {
+    RG_ASSERT_MSG(tid < threads_.size(), "unknown thread id");
+    return threads_[tid];
+  }
+
+  std::vector<Tool*> tools_;
+  std::vector<ThreadInfo> threads_;
+  std::vector<LockInfo> locks_;
+  std::vector<support::Symbol> syncs_;
+  // Live allocations keyed by base address; dead_ keeps the most recent
+  // freed allocation per base so reports on stale pointers still resolve.
+  std::map<Addr, AllocInfo> live_allocs_;
+  std::map<Addr, AllocInfo> dead_allocs_;
+  std::uint64_t alloc_seq_ = 0;
+  std::uint64_t access_events_ = 0;
+  std::uint64_t sync_events_ = 0;
+};
+
+}  // namespace rg::rt

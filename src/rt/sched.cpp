@@ -1,0 +1,385 @@
+#include "rt/sched.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/small_vector.hpp"
+
+namespace rg::rt {
+
+namespace {
+/// OS-thread-local simulated-thread identity. Unlike `current_` (which
+/// tracks the baton), this stays correct during teardown, when every
+/// simulated thread unwinds concurrently.
+thread_local ThreadId g_tls_tid = kNoThread;
+}  // namespace
+
+std::string DeadlockEvidence::describe() const {
+  std::string out = "application deadlock: ";
+  out += std::to_string(blocked.size());
+  out += " thread(s) blocked with no runnable thread left\n";
+  for (const auto& b : blocked) {
+    out += "  thread ";
+    out += std::to_string(b.tid);
+    out += ": ";
+    out += b.reason;
+    out += '\n';
+  }
+  return out;
+}
+
+Scheduler::Scheduler(const SchedConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+Scheduler::~Scheduler() {
+  for (auto& t : threads_)
+    if (t->sys.joinable()) t->sys.join();
+}
+
+Scheduler::SimThread& Scheduler::slot(ThreadId tid) {
+  RG_ASSERT_MSG(tid < threads_.size(), "unknown simulated thread");
+  return *threads_[tid];
+}
+
+void Scheduler::run(ThreadId main_tid, const std::function<void()>& entry) {
+  {
+    std::unique_lock lock(mu_);
+    RG_ASSERT_MSG(threads_.empty(), "scheduler already ran");
+    auto main = std::make_unique<SimThread>();
+    main->id = main_tid;
+    main->state = RunState::Running;
+    main->baton = true;
+    threads_.push_back(std::move(main));
+    main_tid_ = main_tid;
+    current_ = main_tid;
+  }
+  g_tls_tid = main_tid;
+
+  try {
+    entry();
+  } catch (const SimAbort&) {
+    // Outcome was already recorded by global_abort_locked.
+  } catch (const std::exception& e) {
+    std::unique_lock lock(mu_);
+    if (!aborting_) global_abort_locked(SimOutcome::ClientError, e.what());
+  }
+
+  {
+    std::unique_lock lock(mu_);
+    finish_thread_locked(slot(main_tid));
+    controller_cv_.wait(lock, [&] {
+      return std::all_of(threads_.begin(), threads_.end(), [](const auto& t) {
+        return t->state == RunState::Finished;
+      });
+    });
+  }
+
+  for (auto& t : threads_)
+    if (t->sys.joinable()) t->sys.join();
+  g_tls_tid = kNoThread;
+}
+
+void Scheduler::spawn(ThreadId tid, std::function<void()> fn) {
+  std::unique_lock lock(mu_);
+  RG_ASSERT_MSG(!aborting_, "spawn during teardown");
+  RG_ASSERT_MSG(tid == threads_.size(),
+                "thread ids must be registered in creation order");
+  auto t = std::make_unique<SimThread>();
+  t->id = tid;
+  t->state = RunState::Runnable;
+  t->fn = std::move(fn);
+  SimThread* raw = t.get();
+  threads_.push_back(std::move(t));
+  raw->sys = std::thread([this, tid] { trampoline(tid); });
+}
+
+void Scheduler::trampoline(ThreadId tid) {
+  if (thread_tls_hook) thread_tls_hook();
+  g_tls_tid = tid;
+  bool aborted_before_start = false;
+  {
+    std::unique_lock lock(mu_);
+    SimThread& me = slot(tid);
+    wait_for_baton(lock, me);
+    aborted_before_start = me.abort;
+  }
+  if (!aborted_before_start) {
+    SimThread& me = slot(tid);
+    try {
+      me.fn();
+    } catch (const SimAbort&) {
+      // Teardown in progress; fall through to finish.
+    } catch (const std::exception& e) {
+      std::unique_lock lock(mu_);
+      if (!aborting_) global_abort_locked(SimOutcome::ClientError, e.what());
+    }
+  }
+  std::unique_lock lock(mu_);
+  finish_thread_locked(slot(tid));
+}
+
+void Scheduler::preempt() {
+  std::unique_lock lock(mu_);
+  SimThread& me = slot(g_tls_tid);
+  if (me.abort || aborting_) {
+    // Raise the teardown exception once; while it is unwinding, RAII
+    // destructors may re-enter the scheduler and must pass through freely.
+    if (std::uncaught_exceptions() == 0 && me.state != RunState::Finished)
+      throw SimAbort{client_error_};
+    return;
+  }
+  ++steps_;
+  ++vtime_;
+  ++since_switch_;
+  if (steps_ > config_.max_steps) {
+    global_abort_locked(SimOutcome::StepLimit, "scheduler step limit reached");
+    if (g_tls_tid == main_tid_) wait_workers_finished_locked(lock);
+    throw SimAbort{"step limit"};
+  }
+  service_sleepers_locked();
+  SimThread* next = pick_next_locked(&me, /*allow_current=*/true);
+  if (next == nullptr || next == &me) return;
+  me.state = RunState::Runnable;
+  me.baton = false;
+  since_switch_ = 0;
+  give_baton_locked(*next);
+  wait_for_baton(lock, me);
+  if (me.abort) throw SimAbort{client_error_};
+}
+
+void Scheduler::block(const std::string& reason) {
+  std::unique_lock lock(mu_);
+  SimThread& me = slot(g_tls_tid);
+  if (me.abort || aborting_) {
+    if (std::uncaught_exceptions() == 0) throw SimAbort{client_error_};
+    return;
+  }
+  me.state = RunState::Blocked;
+  me.block_reason = reason;
+  me.baton = false;
+  schedule_out_locked(lock, me);
+}
+
+void Scheduler::unblock(ThreadId tid) {
+  std::unique_lock lock(mu_);
+  SimThread& t = slot(tid);
+  if (t.state == RunState::Blocked) t.state = RunState::Runnable;
+}
+
+void Scheduler::sleep(std::uint64_t ticks) {
+  std::unique_lock lock(mu_);
+  SimThread& me = slot(g_tls_tid);
+  if (me.abort || aborting_) {
+    if (std::uncaught_exceptions() == 0) throw SimAbort{client_error_};
+    return;
+  }
+  me.state = RunState::Sleeping;
+  me.wake_at = vtime_ + ticks;
+  me.block_reason = "sleeping";
+  me.baton = false;
+  schedule_out_locked(lock, me);
+}
+
+void Scheduler::wait_finish(ThreadId target) {
+  std::unique_lock lock(mu_);
+  SimThread& me = slot(g_tls_tid);
+  while (slot(target).state != RunState::Finished) {
+    if (me.abort || aborting_) {
+      if (std::uncaught_exceptions() == 0) throw SimAbort{client_error_};
+      return;  // Teardown: the scheduler's epilogue joins the OS thread.
+    }
+    slot(target).join_waiters.push_back(me.id);
+    me.state = RunState::Blocked;
+    me.block_reason = "joining thread " + std::to_string(target);
+    me.baton = false;
+    schedule_out_locked(lock, me);
+  }
+}
+
+bool Scheduler::finished(ThreadId tid) const {
+  std::unique_lock lock(mu_);
+  RG_ASSERT(tid < threads_.size());
+  return threads_[tid]->state == RunState::Finished;
+}
+
+bool Scheduler::tearing_down() const {
+  std::unique_lock lock(mu_);
+  return aborting_;
+}
+
+ThreadId Scheduler::current() const { return g_tls_tid; }
+
+void Scheduler::schedule_out_locked(std::unique_lock<std::mutex>& lock,
+                                    SimThread& me) {
+  service_sleepers_locked();
+  SimThread* next = pick_next_locked(nullptr, /*allow_current=*/false);
+  if (next == nullptr) {
+    // Nothing runnable and nothing due to wake: the program under test is
+    // deadlocked.
+    DeadlockEvidence ev;
+    for (const auto& t : threads_)
+      if (t->state == RunState::Blocked || t->state == RunState::Sleeping)
+        ev.blocked.push_back({t->id, t->block_reason});
+    deadlock_ = std::move(ev);
+    global_abort_locked(SimOutcome::Deadlocked, "deadlock");
+    if (g_tls_tid == main_tid_) wait_workers_finished_locked(lock);
+    throw SimAbort{"deadlock"};
+  }
+  give_baton_locked(*next);
+  wait_for_baton(lock, me);
+  if (me.abort) throw SimAbort{client_error_};
+}
+
+void Scheduler::finish_thread_locked(SimThread& me) {
+  me.state = RunState::Finished;
+  me.baton = false;
+  for (ThreadId waiter : me.join_waiters) unblock_locked(waiter);
+  me.join_waiters.clear();
+
+  const bool all_finished =
+      std::all_of(threads_.begin(), threads_.end(), [](const auto& t) {
+        return t->state == RunState::Finished;
+      });
+  if (all_finished) {
+    controller_cv_.notify_all();
+    return;
+  }
+  if (aborting_) {
+    // Remaining workers are unwinding on their own; release main once the
+    // last one finishes.
+    maybe_release_main_locked();
+    controller_cv_.notify_all();
+    return;
+  }
+  service_sleepers_locked();
+  SimThread* next = pick_next_locked(nullptr, /*allow_current=*/false);
+  if (next != nullptr) {
+    give_baton_locked(*next);
+    return;
+  }
+  // Threads remain but none can ever run again.
+  DeadlockEvidence ev;
+  for (const auto& t : threads_)
+    if (t->state == RunState::Blocked || t->state == RunState::Sleeping)
+      ev.blocked.push_back({t->id, t->block_reason});
+  deadlock_ = std::move(ev);
+  global_abort_locked(SimOutcome::Deadlocked, "deadlock");
+}
+
+void Scheduler::unblock_locked(ThreadId tid) {
+  SimThread& t = slot(tid);
+  if (t.state == RunState::Blocked) t.state = RunState::Runnable;
+}
+
+void Scheduler::service_sleepers_locked() {
+  for (;;) {
+    bool any_runnable = false;
+    bool any_sleeping = false;
+    std::uint64_t earliest = ~0ULL;
+    for (const auto& t : threads_) {
+      if (t->state == RunState::Sleeping) {
+        if (t->wake_at <= vtime_) {
+          t->state = RunState::Runnable;
+          any_runnable = true;
+        } else {
+          any_sleeping = true;
+          earliest = std::min(earliest, t->wake_at);
+        }
+      } else if (t->state == RunState::Runnable ||
+                 t->state == RunState::Running) {
+        any_runnable = true;
+      }
+    }
+    if (any_runnable || !any_sleeping) return;
+    // Everyone is asleep: jump virtual time to the first deadline.
+    vtime_ = earliest;
+  }
+}
+
+Scheduler::SimThread* Scheduler::pick_next_locked(SimThread* current,
+                                                  bool allow_current) {
+  support::small_vector<SimThread*, 16> runnable;
+  for (const auto& t : threads_)
+    if (t->state == RunState::Runnable) runnable.push_back(t.get());
+
+  if (runnable.empty()) {
+    if (allow_current && current != nullptr) return current;
+    return nullptr;
+  }
+
+  switch (config_.strategy) {
+    case SchedStrategy::RoundRobin: {
+      if (allow_current && current != nullptr &&
+          since_switch_ < config_.switch_period)
+        return current;
+      // Next runnable id after the current one, wrapping.
+      const ThreadId cur = current != nullptr ? current->id : ThreadId{0};
+      SimThread* best = nullptr;
+      SimThread* wrap = runnable[0];
+      for (SimThread* t : runnable) {
+        if (t->id > cur && (best == nullptr || t->id < best->id)) best = t;
+        if (t->id < wrap->id) wrap = t;
+      }
+      return best != nullptr ? best : wrap;
+    }
+    case SchedStrategy::Random: {
+      if (allow_current && current != nullptr &&
+          !rng_.chance(static_cast<std::uint64_t>(
+                           config_.switch_probability * 1'000'000),
+                       1'000'000))
+        return current;
+      return runnable[rng_.below(runnable.size())];
+    }
+  }
+  RG_UNREACHABLE("bad strategy");
+}
+
+void Scheduler::give_baton_locked(SimThread& next) {
+  RG_ASSERT(next.state == RunState::Runnable);
+  next.state = RunState::Running;
+  next.baton = true;
+  current_ = next.id;
+  next.cv.notify_one();
+}
+
+void Scheduler::wait_for_baton(std::unique_lock<std::mutex>& lock,
+                               SimThread& me) {
+  me.cv.wait(lock, [&] { return me.baton || me.abort; });
+}
+
+void Scheduler::global_abort_locked(SimOutcome outcome, std::string reason) {
+  if (aborting_) return;
+  aborting_ = true;
+  outcome_ = outcome;
+  client_error_ = std::move(reason);
+  for (const auto& t : threads_) {
+    if (t->state == RunState::Finished) continue;
+    if (t->id == main_tid_) continue;  // main unwinds after every worker
+    t->abort = true;
+    t->cv.notify_one();
+  }
+  maybe_release_main_locked();
+}
+
+void Scheduler::maybe_release_main_locked() {
+  if (!aborting_) return;
+  for (const auto& t : threads_)
+    if (t->id != main_tid_ && t->state != RunState::Finished) return;
+  SimThread& main = slot(main_tid_);
+  if (main.state != RunState::Finished) {
+    main.abort = true;
+    main.cv.notify_one();
+  }
+  controller_cv_.notify_all();
+}
+
+void Scheduler::wait_workers_finished_locked(
+    std::unique_lock<std::mutex>& lock) {
+  controller_cv_.wait(lock, [&] {
+    for (const auto& t : threads_)
+      if (t->id != main_tid_ && t->state != RunState::Finished) return false;
+    return true;
+  });
+}
+
+}  // namespace rg::rt

@@ -1,0 +1,204 @@
+// Deterministic simulated-thread scheduler.
+//
+// Valgrind executes the client program on a single carrier thread, context-
+// switching between client threads at instrumentation points (the paper,
+// §3.3: "the virtual machine in itself is single-threaded"). We reproduce
+// that: simulated threads are real std::threads, but a baton guarantees that
+// exactly one of them executes at any moment, and every instrumented
+// operation is a preemption point where a *seeded* strategy picks the next
+// runnable thread. Given a seed, an execution — and therefore the set of
+// warnings a detector derives from it — is exactly reproducible.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rt/ids.hpp"
+#include "support/prng.hpp"
+
+namespace rg::rt {
+
+/// Thrown inside a simulated thread when the run is being torn down
+/// (deadlock detected, step limit hit, or leaked threads at exit).
+struct SimAbort {
+  std::string reason;
+};
+
+/// Interleaving strategies.
+enum class SchedStrategy : std::uint8_t {
+  /// Switch to the next runnable thread (by id) every `switch_period` steps.
+  RoundRobin,
+  /// At each step, switch to a uniformly random runnable thread with
+  /// probability `switch_probability`.
+  Random,
+};
+
+struct SchedConfig {
+  std::uint64_t seed = 1;
+  SchedStrategy strategy = SchedStrategy::Random;
+  std::uint32_t switch_period = 3;
+  double switch_probability = 0.25;
+  /// Hard cap on preemption points; exceeding it aborts the run (guards
+  /// against livelock in a buggy program under test).
+  std::uint64_t max_steps = 100'000'000;
+};
+
+/// Why a run ended.
+enum class SimOutcome : std::uint8_t {
+  Completed,
+  Deadlocked,
+  StepLimit,
+  ClientError,
+};
+
+struct DeadlockEvidence {
+  struct BlockedThread {
+    ThreadId tid = kNoThread;
+    std::string reason;
+  };
+  std::vector<BlockedThread> blocked;
+  std::string describe() const;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedConfig& config);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Runs `entry` as simulated thread `main_tid` on the *calling* thread.
+  /// Returns once every spawned thread has finished (or the run aborted).
+  void run(ThreadId main_tid, const std::function<void()>& entry);
+
+  /// Spawns a new simulated thread. Must be called from a running simulated
+  /// thread. The new thread starts runnable but does not run until
+  /// scheduled.
+  void spawn(ThreadId tid, std::function<void()> fn);
+
+  /// Preemption point: gives the strategy a chance to switch threads.
+  /// Called by every instrumented operation.
+  void preempt();
+
+  /// Blocks the calling thread until `unblock(tid)` makes it runnable
+  /// again. `reason` feeds deadlock evidence.
+  void block(const std::string& reason);
+
+  /// Marks a blocked thread runnable (does not transfer control).
+  void unblock(ThreadId tid);
+
+  /// Blocks the calling thread for `ticks` of virtual time. Virtual time
+  /// advances by one per preemption point and jumps forward when every
+  /// thread is asleep.
+  void sleep(std::uint64_t ticks);
+
+  /// Blocks the calling thread until `target` has finished (thread join).
+  void wait_finish(ThreadId target);
+
+  /// True once `tid` has finished executing.
+  bool finished(ThreadId tid) const;
+
+  /// True once the run is being torn down (deadlock / step limit / client
+  /// error). Instrumented primitives become non-blocking no-ops then, so
+  /// destructors can unwind without re-entering the scheduler.
+  bool tearing_down() const;
+
+  /// Id of the calling simulated thread (thread-local identity, valid even
+  /// during teardown when the baton discipline is suspended).
+  ThreadId current() const;
+
+  std::uint64_t steps() const { return steps_; }
+  std::uint64_t virtual_time() const { return vtime_; }
+  SimOutcome outcome() const { return outcome_; }
+  const DeadlockEvidence& deadlock() const { return deadlock_; }
+  const std::string& client_error() const { return client_error_; }
+
+  /// Installed by Sim so spawned threads inherit the ambient context.
+  std::function<void()> thread_tls_hook;
+
+ private:
+  enum class RunState : std::uint8_t {
+    Runnable,
+    Running,
+    Blocked,
+    Sleeping,
+    Finished,
+  };
+
+  struct SimThread {
+    ThreadId id = kNoThread;
+    std::thread sys;  // not joined-through for the bootstrap thread
+    RunState state = RunState::Runnable;
+    std::condition_variable cv;
+    bool baton = false;
+    bool abort = false;
+    std::uint64_t wake_at = 0;
+    std::string block_reason;
+    std::function<void()> fn;
+    std::vector<ThreadId> join_waiters;
+  };
+
+  SimThread& slot(ThreadId tid);
+
+  /// Picks the next thread to run; returns nullptr when none is runnable
+  /// after waking due sleepers.
+  SimThread* pick_next_locked(SimThread* current, bool allow_current);
+
+  /// Hands control to some runnable thread (or declares deadlock) and parks
+  /// the calling thread until it is scheduled again.
+  void schedule_out_locked(std::unique_lock<std::mutex>& lock, SimThread& me);
+
+  /// Marks `me` finished, wakes joiners, and keeps the run going (or
+  /// completes / aborts it).
+  void finish_thread_locked(SimThread& me);
+
+  void unblock_locked(ThreadId tid);
+
+  /// Wakes sleepers whose deadline has passed; when nothing is runnable but
+  /// sleepers exist, advances virtual time to the earliest deadline.
+  void service_sleepers_locked();
+
+  /// Declares the whole run dead: wakes every worker with the abort flag.
+  /// The main thread is deliberately released *last* (see
+  /// maybe_release_main_locked) so that objects owned by its stack frame
+  /// survive until every worker has unwound.
+  void global_abort_locked(SimOutcome outcome, std::string reason);
+
+  /// During teardown: once every non-main thread has finished, wakes main.
+  void maybe_release_main_locked();
+
+  /// Parks the calling (main) thread until every worker finished; used
+  /// before letting SimAbort unwind main's stack.
+  void wait_workers_finished_locked(std::unique_lock<std::mutex>& lock);
+
+  void give_baton_locked(SimThread& next);
+  void wait_for_baton(std::unique_lock<std::mutex>& lock, SimThread& me);
+
+  void trampoline(ThreadId tid);
+
+  SchedConfig config_;
+  support::Xoshiro256 rng_;
+
+  mutable std::mutex mu_;
+  std::condition_variable controller_cv_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  ThreadId main_tid_ = kNoThread;
+  ThreadId current_ = kNoThread;
+  std::uint64_t steps_ = 0;
+  std::uint64_t vtime_ = 0;
+  std::uint32_t since_switch_ = 0;
+  bool aborting_ = false;
+  SimOutcome outcome_ = SimOutcome::Completed;
+  DeadlockEvidence deadlock_;
+  std::string client_error_;
+};
+
+}  // namespace rg::rt

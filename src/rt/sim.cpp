@@ -1,0 +1,49 @@
+#include "rt/sim.hpp"
+
+#include "support/assert.hpp"
+
+namespace rg::rt {
+
+namespace {
+thread_local Sim* g_tls_sim = nullptr;
+}  // namespace
+
+Sim::Sim(const SimConfig& config) : config_(config), sched_(config.sched) {
+  sched_.thread_tls_hook = [this] { g_tls_sim = this; };
+}
+
+Sim* Sim::current() { return g_tls_sim; }
+
+ThreadId Sim::current_thread() {
+  RG_ASSERT_MSG(g_tls_sim != nullptr, "no simulation on this thread");
+  return g_tls_sim->sched_.current();
+}
+
+SimResult Sim::run(const std::function<void()>& entry) {
+  RG_ASSERT_MSG(!ran_, "a Sim can only run once");
+  RG_ASSERT_MSG(g_tls_sim == nullptr, "nested simulations are not supported");
+  ran_ = true;
+
+  const ThreadId main_tid = runtime_.register_thread(
+      config_.main_thread_name, kNoThread, support::kUnknownSite);
+  RG_ASSERT(main_tid == kMainThread);
+
+  g_tls_sim = this;
+  sched_.run(main_tid, entry);
+  g_tls_sim = nullptr;
+
+  runtime_.thread_exited(main_tid);
+  runtime_.finish();
+
+  SimResult result;
+  result.outcome = sched_.outcome();
+  result.steps = sched_.steps();
+  result.virtual_time = sched_.virtual_time();
+  result.access_events = runtime_.access_events();
+  result.sync_events = runtime_.sync_events();
+  result.deadlock = sched_.deadlock();
+  result.error = sched_.client_error();
+  return result;
+}
+
+}  // namespace rg::rt

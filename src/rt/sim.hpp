@@ -1,0 +1,71 @@
+// Sim — one observed execution of a program under test.
+//
+// Couples a Runtime (event fan-out to tools) with a Scheduler (deterministic
+// interleaving) and provides the ambient context the instrumented primitives
+// look up. When no Sim is current on a thread, the primitives fall back to
+// plain native synchronisation with zero event traffic — that mode is the
+// "no Valgrind" baseline of the §4.5 performance experiment.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "rt/runtime.hpp"
+#include "rt/sched.hpp"
+
+namespace rg::rt {
+
+struct SimConfig {
+  SchedConfig sched;
+  std::string main_thread_name = "main";
+};
+
+/// Outcome of one simulated execution.
+struct SimResult {
+  SimOutcome outcome = SimOutcome::Completed;
+  std::uint64_t steps = 0;
+  std::uint64_t virtual_time = 0;
+  std::uint64_t access_events = 0;
+  std::uint64_t sync_events = 0;
+  DeadlockEvidence deadlock;
+  std::string error;
+
+  bool completed() const { return outcome == SimOutcome::Completed; }
+  bool deadlocked() const { return outcome == SimOutcome::Deadlocked; }
+};
+
+class Sim {
+ public:
+  explicit Sim(const SimConfig& config = {});
+
+  Sim(const Sim&) = delete;
+  Sim& operator=(const Sim&) = delete;
+
+  Runtime& runtime() { return runtime_; }
+  Scheduler& sched() { return sched_; }
+  const SimConfig& config() const { return config_; }
+
+  /// Attaches a detection tool; caller keeps ownership.
+  void attach(Tool& tool) { runtime_.attach(tool); }
+
+  /// Executes `entry` as the main simulated thread on the calling OS
+  /// thread; returns when every simulated thread has finished.
+  SimResult run(const std::function<void()>& entry);
+
+  /// The Sim governing the calling OS thread, or nullptr when the thread is
+  /// not simulated (native mode).
+  static Sim* current();
+
+  /// ThreadId of the calling simulated thread. Only valid under a Sim.
+  static ThreadId current_thread();
+
+ private:
+  friend class thread;
+
+  SimConfig config_;
+  Runtime runtime_;
+  Scheduler sched_;
+  bool ran_ = false;
+};
+
+}  // namespace rg::rt

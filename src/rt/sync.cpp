@@ -1,0 +1,236 @@
+#include "rt/sync.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace rg::rt {
+
+namespace {
+/// Wakes every thread queued on a primitive; they re-check the admission
+/// condition when scheduled (barging semantics, as POSIX allows).
+void wake_all(Sim& sim, std::vector<ThreadId>& queue) {
+  for (ThreadId tid : queue) sim.sched().unblock(tid);
+  queue.clear();
+}
+}  // namespace
+
+// --- mutex ------------------------------------------------------------------
+
+mutex::mutex(std::string_view name) : name_(name), sim_(Sim::current()) {
+  if (sim_ != nullptr) id_ = sim_->runtime().register_lock(name_, /*is_rw=*/false);
+}
+
+void mutex::lock(const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    native_.lock();
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  const support::SiteId site = site_of(loc);
+  RG_ASSERT_MSG(owner_ != me, "recursive lock of a non-recursive mutex");
+  sim_->runtime().pre_lock(me, id_, LockMode::Exclusive, site);
+  sim_->sched().preempt();
+  while (owner_ != kNoThread) {
+    wait_queue_.push_back(me);
+    sim_->sched().block("waiting for mutex '" + name_ + "' held by thread " +
+                        std::to_string(owner_));
+  }
+  owner_ = me;
+  sim_->runtime().post_lock(me, id_, LockMode::Exclusive, site);
+}
+
+bool mutex::try_lock(const std::source_location& loc) {
+  if (sim_ == nullptr) return native_.try_lock();
+  if (sim_->sched().tearing_down()) return true;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  sim_->sched().preempt();
+  if (owner_ != kNoThread) return false;
+  const support::SiteId site = site_of(loc);
+  sim_->runtime().pre_lock(me, id_, LockMode::Exclusive, site);
+  owner_ = me;
+  sim_->runtime().post_lock(me, id_, LockMode::Exclusive, site);
+  return true;
+}
+
+void mutex::unlock(const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    native_.unlock();
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  RG_ASSERT_MSG(owner_ == me, "unlock of a mutex not held by this thread");
+  owner_ = kNoThread;
+  sim_->runtime().unlock(me, id_, site_of(loc));
+  wake_all(*sim_, wait_queue_);
+  sim_->sched().preempt();
+}
+
+// --- rw_mutex ---------------------------------------------------------------
+
+rw_mutex::rw_mutex(std::string_view name) : name_(name), sim_(Sim::current()) {
+  if (sim_ != nullptr) id_ = sim_->runtime().register_lock(name_, /*is_rw=*/true);
+}
+
+void rw_mutex::lock(const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    native_.lock();
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  const support::SiteId site = site_of(loc);
+  sim_->runtime().pre_lock(me, id_, LockMode::Exclusive, site);
+  sim_->sched().preempt();
+  while (writer_ != kNoThread || !readers_.empty()) {
+    wait_queue_.push_back(me);
+    sim_->sched().block("waiting for write lock '" + name_ + "'");
+  }
+  writer_ = me;
+  sim_->runtime().post_lock(me, id_, LockMode::Exclusive, site);
+}
+
+void rw_mutex::lock_shared(const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    native_.lock_shared();
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  const support::SiteId site = site_of(loc);
+  sim_->runtime().pre_lock(me, id_, LockMode::Shared, site);
+  sim_->sched().preempt();
+  while (writer_ != kNoThread) {
+    wait_queue_.push_back(me);
+    sim_->sched().block("waiting for read lock '" + name_ + "'");
+  }
+  readers_.push_back(me);
+  sim_->runtime().post_lock(me, id_, LockMode::Shared, site);
+}
+
+void rw_mutex::unlock(const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    // POSIX-style unified unlock is not expressible on std::shared_mutex
+    // without tracking the side; native mode tracks nothing, so we require
+    // the writer side convention for untracked use.
+    native_.unlock();
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  if (writer_ == me) {
+    writer_ = kNoThread;
+  } else {
+    auto it = std::find(readers_.begin(), readers_.end(), me);
+    RG_ASSERT_MSG(it != readers_.end(), "rwlock unlock by a non-holder");
+    *it = readers_.back();
+    readers_.pop_back();
+  }
+  sim_->runtime().unlock(me, id_, site_of(loc));
+  wake_all(*sim_, wait_queue_);
+  sim_->sched().preempt();
+}
+
+// --- condition_variable -------------------------------------------------------
+
+condition_variable::condition_variable(std::string_view name)
+    : name_(name), sim_(Sim::current()) {
+  if (sim_ != nullptr) id_ = sim_->runtime().register_sync(name_);
+}
+
+void condition_variable::wait(mutex& m, const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    native_.wait(m);
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  waiters_.push_back(me);
+  m.unlock(loc);
+  // Block until a signal removes us from the waiter queue.
+  while (std::find(waiters_.begin(), waiters_.end(), me) != waiters_.end())
+    sim_->sched().block("waiting on condvar '" + name_ + "'");
+  m.lock(loc);
+  sim_->runtime().cond_wait_return(me, id_, m.id(), site_of(loc));
+}
+
+void condition_variable::notify_one(const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    native_.notify_one();
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  sim_->runtime().cond_signal(me, id_, site_of(loc));
+  if (!waiters_.empty()) {
+    const ThreadId woken = waiters_.front();
+    waiters_.pop_front();
+    sim_->sched().unblock(woken);
+  }
+  sim_->sched().preempt();
+}
+
+void condition_variable::notify_all(const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    native_.notify_all();
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  sim_->runtime().cond_signal(me, id_, site_of(loc));
+  while (!waiters_.empty()) {
+    sim_->sched().unblock(waiters_.front());
+    waiters_.pop_front();
+  }
+  sim_->sched().preempt();
+}
+
+// --- semaphore -----------------------------------------------------------------
+
+semaphore::semaphore(std::uint32_t initial, std::string_view name)
+    : name_(name), sim_(Sim::current()), native_count_(initial) {
+  if (sim_ != nullptr) {
+    id_ = sim_->runtime().register_sync(name_);
+    // Initial tokens have no posting thread; token 0 = unpaired.
+    for (std::uint32_t i = 0; i < initial; ++i) tokens_.push_back(0);
+  }
+}
+
+void semaphore::post(const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    std::lock_guard lock(native_mu_);
+    ++native_count_;
+    native_cv_.notify_one();
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  const std::uint64_t token = next_token_++;
+  tokens_.push_back(token);
+  sim_->runtime().sem_post(me, id_, token, site_of(loc));
+  wake_all(*sim_, wait_queue_);
+  sim_->sched().preempt();
+}
+
+void semaphore::wait(const std::source_location& loc) {
+  if (sim_ == nullptr) {
+    std::unique_lock lock(native_mu_);
+    native_cv_.wait(lock, [&] { return native_count_ > 0; });
+    --native_count_;
+    return;
+  }
+  if (sim_->sched().tearing_down()) return;  // unwind tolerance
+  const ThreadId me = Sim::current_thread();
+  sim_->sched().preempt();
+  while (tokens_.empty()) {
+    wait_queue_.push_back(me);
+    sim_->sched().block("waiting on semaphore '" + name_ + "'");
+  }
+  const std::uint64_t token = tokens_.front();
+  tokens_.pop_front();
+  sim_->runtime().sem_wait_return(me, id_, token, site_of(loc));
+}
+
+}  // namespace rg::rt

@@ -1,0 +1,99 @@
+#include "rt/thread.hpp"
+
+#include <chrono>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace rg::rt {
+
+thread::thread(std::function<void()> fn, std::string_view name,
+               const std::source_location& loc) {
+  sim_ = Sim::current();
+  joined_ = false;
+  if (sim_ == nullptr) {
+    native_ = std::thread(std::move(fn));
+    return;
+  }
+  if (sim_->sched().tearing_down()) {
+    // Unwind tolerance: no new threads during teardown.
+    joined_ = true;
+    return;
+  }
+  const ThreadId parent = Sim::current_thread();
+  const support::SiteId site = site_of(loc);
+  tid_ = sim_->runtime().register_thread(name, parent, site);
+  Sim* sim = sim_;
+  const ThreadId tid = tid_;
+  sim_->sched().spawn(tid_, [sim, tid, fn = std::move(fn)] {
+    fn();
+    sim->runtime().thread_exited(tid);
+  });
+}
+
+thread::thread(thread&& other) noexcept
+    : sim_(other.sim_),
+      tid_(other.tid_),
+      joined_(other.joined_),
+      native_(std::move(other.native_)) {
+  other.joined_ = true;
+  other.sim_ = nullptr;
+  other.tid_ = kNoThread;
+}
+
+thread& thread::operator=(thread&& other) noexcept {
+  if (this != &other) {
+    RG_ASSERT_MSG(joined_, "assigning over an unjoined thread");
+    sim_ = other.sim_;
+    tid_ = other.tid_;
+    joined_ = other.joined_;
+    native_ = std::move(other.native_);
+    other.joined_ = true;
+    other.sim_ = nullptr;
+    other.tid_ = kNoThread;
+  }
+  return *this;
+}
+
+thread::~thread() {
+  if (!joined_) join();
+}
+
+bool thread::joinable() const { return !joined_; }
+
+void thread::join(const std::source_location& loc) {
+  RG_ASSERT_MSG(!joined_, "join of a joined/empty thread");
+  joined_ = true;
+  if (sim_ == nullptr) {
+    native_.join();
+    return;
+  }
+  sim_->sched().wait_finish(tid_);
+  if (sim_->sched().tearing_down()) return;
+  sim_->runtime().thread_joined(Sim::current_thread(), tid_, site_of(loc));
+}
+
+void thread::detach() {
+  RG_ASSERT_MSG(!joined_, "detach of a joined/empty thread");
+  joined_ = true;
+  if (sim_ == nullptr) native_.detach();
+  // Under a Sim the scheduler drains unjoined threads at end of run.
+}
+
+void yield() {
+  if (Sim* sim = Sim::current()) {
+    sim->sched().preempt();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+void sleep_ticks(std::uint64_t ticks) {
+  if (Sim* sim = Sim::current()) {
+    sim->sched().sleep(ticks);
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ticks));
+  }
+}
+
+}  // namespace rg::rt

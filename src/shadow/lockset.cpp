@@ -1,0 +1,92 @@
+#include "shadow/lockset.hpp"
+
+#include <algorithm>
+
+#include "rt/runtime.hpp"
+#include "support/assert.hpp"
+
+namespace rg::shadow {
+
+LocksetTable::LocksetTable() {
+  // Reserve id 0 for the empty set.
+  const LocksetId empty = intern({});
+  RG_ASSERT(empty == kEmptyLockset);
+}
+
+LocksetId LocksetTable::intern(LockVec locks) {
+  std::sort(locks.begin(), locks.end());
+  const auto unique_end = std::unique(locks.begin(), locks.end());
+  while (locks.end() != unique_end) locks.pop_back();
+  if (auto it = index_.find(locks); it != index_.end()) return it->second;
+  sets_.push_back(locks);
+  const auto id = static_cast<LocksetId>(sets_.size() - 1);
+  index_.emplace(std::move(locks), id);
+  return id;
+}
+
+LocksetId LocksetTable::intersect(LocksetId a, LocksetId b) {
+  // The universal set is the identity element (Eraser initialises C(v) to
+  // the set of all locks).
+  if (a == kUniversalLockset) return b;
+  if (b == kUniversalLockset) return a;
+  if (a == b) return a;
+  if (a == kEmptyLockset || b == kEmptyLockset) return kEmptyLockset;
+  if (a > b) std::swap(a, b);
+
+  const auto key = std::make_pair(a, b);
+  if (auto it = intersect_cache_.find(key); it != intersect_cache_.end()) {
+    ++cache_hits_;
+    return it->second;
+  }
+  ++cache_misses_;
+
+  const LockVec& va = elements(a);
+  const LockVec& vb = elements(b);
+  LockVec out;
+  std::set_intersection(va.begin(), va.end(), vb.begin(), vb.end(),
+                        std::back_inserter(out));
+  const LocksetId result = intern(std::move(out));
+  intersect_cache_.emplace(key, result);
+  return result;
+}
+
+LocksetId LocksetTable::with(LocksetId set, rt::LockId lock) {
+  if (set == kUniversalLockset) return set;
+  LockVec v = elements(set);
+  if (std::find(v.begin(), v.end(), lock) != v.end()) return set;
+  v.push_back(lock);
+  return intern(std::move(v));
+}
+
+bool LocksetTable::contains(LocksetId set, rt::LockId lock) const {
+  if (set == kUniversalLockset) return true;
+  const LockVec& v = elements(set);
+  return std::binary_search(v.begin(), v.end(), lock);
+}
+
+std::size_t LocksetTable::size(LocksetId set) const {
+  return elements(set).size();
+}
+
+const LockVec& LocksetTable::elements(LocksetId set) const {
+  RG_ASSERT_MSG(set != kUniversalLockset,
+                "the universal lockset has no explicit elements");
+  RG_ASSERT_MSG(set < sets_.size(), "unknown lockset id");
+  return sets_[set];
+}
+
+std::string LocksetTable::describe(LocksetId set,
+                                   const rt::Runtime& rt) const {
+  if (set == kUniversalLockset) return "{<all locks>}";
+  std::string out = "{";
+  bool first = true;
+  for (rt::LockId lock : elements(set)) {
+    if (!first) out += ", ";
+    first = false;
+    out += rt.lock_name(lock);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace rg::shadow

@@ -1,0 +1,88 @@
+// Interned locksets.
+//
+// Eraser's candidate set C(v) is stored per shadow-memory cell, so locksets
+// must be tiny to store and cheap to intersect. Following the original
+// Eraser implementation we intern every distinct set into a table of dense
+// ids and memoise intersection results keyed by id pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/ids.hpp"
+#include "support/small_vector.hpp"
+
+namespace rg::rt {
+class Runtime;
+}
+
+namespace rg::shadow {
+
+/// Dense id of an interned lockset.
+/// kEmptyLockset (0) is the empty set; kUniversalLockset is the "set of all
+/// locks" every C(v) starts from in the plain Eraser algorithm.
+using LocksetId = std::uint32_t;
+
+constexpr LocksetId kEmptyLockset = 0;
+constexpr LocksetId kUniversalLockset = 0xffffffffu;
+
+/// Sorted, duplicate-free vector of lock ids.
+using LockVec = support::small_vector<rt::LockId, 4>;
+
+class LocksetTable {
+ public:
+  LocksetTable();
+
+  LocksetTable(const LocksetTable&) = delete;
+  LocksetTable& operator=(const LocksetTable&) = delete;
+
+  /// Interns `locks` (need not be sorted; duplicates are removed).
+  LocksetId intern(LockVec locks);
+
+  /// Intersection of two interned sets; memoised. The universal set is the
+  /// identity: intersect(U, s) == s.
+  LocksetId intersect(LocksetId a, LocksetId b);
+
+  /// Set with `lock` added.
+  LocksetId with(LocksetId set, rt::LockId lock);
+
+  bool contains(LocksetId set, rt::LockId lock) const;
+  bool empty(LocksetId set) const { return set == kEmptyLockset; }
+  std::size_t size(LocksetId set) const;
+
+  /// Elements of an interned set. Invalid for the universal set.
+  const LockVec& elements(LocksetId set) const;
+
+  /// "{m1, m2}" rendering using lock names from `rt`.
+  std::string describe(LocksetId set, const rt::Runtime& rt) const;
+
+  /// Number of distinct sets interned (statistics).
+  std::size_t distinct_sets() const { return sets_.size(); }
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+
+ private:
+  struct VecHash {
+    std::size_t operator()(const LockVec& v) const {
+      std::size_t h = 0xcbf29ce484222325ULL;
+      for (rt::LockId id : v) h = (h ^ id) * 0x100000001b3ULL;
+      return h;
+    }
+  };
+  struct PairHash {
+    std::size_t operator()(const std::pair<LocksetId, LocksetId>& p) const {
+      return p.first * 0x9e3779b97f4a7c15ULL + p.second;
+    }
+  };
+
+  std::vector<LockVec> sets_;
+  std::unordered_map<LockVec, LocksetId, VecHash> index_;
+  std::unordered_map<std::pair<LocksetId, LocksetId>, LocksetId, PairHash>
+      intersect_cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+};
+
+}  // namespace rg::shadow

@@ -1,0 +1,71 @@
+#include "shadow/segments.hpp"
+
+#include "support/assert.hpp"
+
+namespace rg::shadow {
+
+SegmentId SegmentGraph::start_thread(rt::ThreadId tid, SegmentId creator) {
+  Segment s;
+  s.thread = tid;
+  if (creator != kNoSegment) s.clock = seg(creator).clock;
+  s.clock.tick(tid);
+  s.seq = s.clock.get(tid);
+  segments_.push_back(std::move(s));
+  const auto id = static_cast<SegmentId>(segments_.size() - 1);
+  if (tid >= current_.size()) current_.resize(tid + 1, kNoSegment);
+  RG_ASSERT_MSG(current_[tid] == kNoSegment, "thread already started");
+  current_[tid] = id;
+  return id;
+}
+
+SegmentId SegmentGraph::advance(rt::ThreadId tid, SegmentId extra_pred) {
+  const SegmentId prev = current(tid);
+  Segment s;
+  s.thread = tid;
+  s.clock = seg(prev).clock;
+  if (extra_pred != kNoSegment) s.clock.merge(seg(extra_pred).clock);
+  s.clock.tick(tid);
+  s.seq = s.clock.get(tid);
+  segments_.push_back(std::move(s));
+  const auto id = static_cast<SegmentId>(segments_.size() - 1);
+  current_[tid] = id;
+  return id;
+}
+
+SegmentId SegmentGraph::current(rt::ThreadId tid) const {
+  RG_ASSERT_MSG(tid < current_.size() && current_[tid] != kNoSegment,
+                "thread has no segment");
+  return current_[tid];
+}
+
+rt::ThreadId SegmentGraph::thread_of(SegmentId id) const {
+  return seg(id).thread;
+}
+
+bool SegmentGraph::happens_before(SegmentId a, SegmentId b) const {
+  if (a == b) return false;
+  const Segment& sa = seg(a);
+  const Segment& sb = seg(b);
+  if (sa.thread == sb.thread) return sa.seq < sb.seq;
+  // Segment a (whole) precedes segment b iff b's clock has seen a's
+  // identity tick AND a is no longer the current (open) segment of its
+  // thread — an open segment may still produce events.
+  return sb.clock.get(sa.thread) >= sa.seq;
+}
+
+const VectorClock& SegmentGraph::clock(SegmentId id) const {
+  return seg(id).clock;
+}
+
+std::string SegmentGraph::describe(SegmentId id) const {
+  const Segment& s = seg(id);
+  return "TS(thread " + std::to_string(s.thread) + ", #" +
+         std::to_string(s.seq) + ")";
+}
+
+const SegmentGraph::Segment& SegmentGraph::seg(SegmentId id) const {
+  RG_ASSERT_MSG(id < segments_.size(), "unknown segment");
+  return segments_[id];
+}
+
+}  // namespace rg::shadow

@@ -1,0 +1,72 @@
+// Thread segments (Fig. 2).
+//
+// A thread is a sequence of segments separated by thread-create and -join
+// operations (and, in the message-passing extension, by queue/semaphore
+// hand-offs). "Memory accesses that are limited to non-overlapping thread
+// segments are still exclusive even if not done by a single thread." Each
+// segment carries a vector clock, making the happens-before query between
+// two segments exact for fork/join (+ hand-off) graphs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/ids.hpp"
+#include "shadow/vector_clock.hpp"
+
+namespace rg::shadow {
+
+using SegmentId = std::uint32_t;
+constexpr SegmentId kNoSegment = 0xffffffffu;
+
+class SegmentGraph {
+ public:
+  SegmentGraph() = default;
+
+  /// Starts the first segment of a new thread. `creator` is the segment of
+  /// the creating thread at create time (kNoSegment for the initial
+  /// thread); the new segment happens-after it.
+  SegmentId start_thread(rt::ThreadId tid, SegmentId creator);
+
+  /// Ends `tid`'s current segment and starts the next one; with
+  /// `extra_pred` set, the new segment additionally happens-after that
+  /// segment (join: the joined thread's last segment; hand-off: the
+  /// sender's segment at put time).
+  SegmentId advance(rt::ThreadId tid, SegmentId extra_pred = kNoSegment);
+
+  /// The segment `tid` is currently executing in.
+  SegmentId current(rt::ThreadId tid) const;
+
+  rt::ThreadId thread_of(SegmentId seg) const;
+
+  /// True when segment `a` completes before segment `b` begins (strictly:
+  /// every event of a is ordered before every event of b). Segments of the
+  /// same thread are ordered by sequence.
+  bool happens_before(SegmentId a, SegmentId b) const;
+
+  /// Segments overlap iff neither happens before the other and they are
+  /// distinct.
+  bool concurrent(SegmentId a, SegmentId b) const {
+    return a != b && !happens_before(a, b) && !happens_before(b, a);
+  }
+
+  const VectorClock& clock(SegmentId seg) const;
+
+  std::size_t segment_count() const { return segments_.size(); }
+  std::string describe(SegmentId seg) const;
+
+ private:
+  struct Segment {
+    rt::ThreadId thread = rt::kNoThread;
+    VectorClock::Tick seq = 0;  // == clock.get(thread)
+    VectorClock clock;
+  };
+
+  const Segment& seg(SegmentId id) const;
+
+  std::vector<Segment> segments_;
+  std::vector<SegmentId> current_;  // by ThreadId
+};
+
+}  // namespace rg::shadow

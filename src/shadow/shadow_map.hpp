@@ -1,0 +1,81 @@
+// Shadow memory.
+//
+// Maps client addresses to per-granule detector state, the way Valgrind
+// tools shadow the client address space. Two-level: a hash map from page
+// number to a flat array of granule slots, so lookups on the hot path are
+// one hash probe + one index. The granule is 8 bytes (Helgrind tracked
+// machine words); an access spanning granules touches each of them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "rt/ids.hpp"
+
+namespace rg::shadow {
+
+constexpr std::uint32_t kGranuleShift = 3;  // 8-byte granules
+constexpr std::uint32_t kPageShift = 12;    // 4 KiB pages
+constexpr std::uint32_t kGranulesPerPage = 1u << (kPageShift - kGranuleShift);
+
+/// Granule index of an address.
+inline std::uint64_t granule_of(rt::Addr addr) { return addr >> kGranuleShift; }
+
+/// First byte address of a granule.
+inline rt::Addr granule_base(std::uint64_t granule) {
+  return granule << kGranuleShift;
+}
+
+template <typename State>
+class ShadowMap {
+ public:
+  /// State slot for the granule containing `addr`, default-constructed on
+  /// first touch.
+  State& at(rt::Addr addr) {
+    const std::uint64_t g = granule_of(addr);
+    Page& page = ensure_page(g >> (kPageShift - kGranuleShift));
+    return page[g & (kGranulesPerPage - 1)];
+  }
+
+  /// Existing slot, or nullptr if the granule was never touched.
+  const State* find(rt::Addr addr) const {
+    const std::uint64_t g = granule_of(addr);
+    auto it = pages_.find(g >> (kPageShift - kGranuleShift));
+    if (it == pages_.end()) return nullptr;
+    return &(*it->second)[g & (kGranulesPerPage - 1)];
+  }
+
+  /// Applies `fn(State&)` to every granule overlapping [addr, addr+size).
+  template <typename Fn>
+  void for_range(rt::Addr addr, std::uint32_t size, Fn&& fn) {
+    if (size == 0) size = 1;
+    const std::uint64_t first = granule_of(addr);
+    const std::uint64_t last = granule_of(addr + size - 1);
+    for (std::uint64_t g = first; g <= last; ++g) fn(at(granule_base(g)));
+  }
+
+  /// Resets every granule overlapping the range to a default State
+  /// (allocation freed — Helgrind reinitialises the shadow state, which is
+  /// why allocator-internal reuse *without* free events causes the §4
+  /// libstdc++ false positives).
+  void reset_range(rt::Addr addr, std::uint32_t size) {
+    for_range(addr, size, [](State& s) { s = State(); });
+  }
+
+  std::size_t page_count() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<State, kGranulesPerPage>;
+
+  Page& ensure_page(std::uint64_t page_no) {
+    auto& slot = pages_[page_no];
+    if (!slot) slot = std::make_unique<Page>();
+    return *slot;
+  }
+
+  std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace rg::shadow

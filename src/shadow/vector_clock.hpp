@@ -1,0 +1,88 @@
+// Vector clocks.
+//
+// Used twice in this reproduction: (1) per thread segment, to answer the
+// VisualThreads happens-before query of Fig. 2 exactly, and (2) by the DJIT
+// baseline detector (§2.2), which timestamps accesses with its thread's
+// current clock.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "rt/ids.hpp"
+#include "support/small_vector.hpp"
+
+namespace rg::shadow {
+
+class VectorClock {
+ public:
+  using Tick = std::uint32_t;
+
+  VectorClock() = default;
+
+  /// Component for `tid` (0 if never ticked).
+  Tick get(rt::ThreadId tid) const {
+    return tid < ticks_.size() ? ticks_[tid] : 0;
+  }
+
+  /// Advances this clock's own component.
+  void tick(rt::ThreadId tid) {
+    ensure(tid);
+    ++ticks_[tid];
+  }
+
+  void set(rt::ThreadId tid, Tick value) {
+    ensure(tid);
+    ticks_[tid] = value;
+  }
+
+  /// Component-wise maximum (receive/join).
+  void merge(const VectorClock& other) {
+    if (other.ticks_.size() > ticks_.size())
+      ticks_.resize(other.ticks_.size(), 0);
+    for (std::size_t i = 0; i < other.ticks_.size(); ++i)
+      ticks_[i] = std::max(ticks_[i], other.ticks_[i]);
+  }
+
+  /// Pointwise <=: "this happened before or equals other".
+  bool leq(const VectorClock& other) const {
+    for (std::size_t i = 0; i < ticks_.size(); ++i)
+      if (ticks_[i] > other.get(static_cast<rt::ThreadId>(i))) return false;
+    return true;
+  }
+
+  /// Neither leq(other) nor other.leq(*this): concurrent.
+  bool concurrent_with(const VectorClock& other) const {
+    return !leq(other) && !other.leq(*this);
+  }
+
+  friend bool operator==(const VectorClock& a, const VectorClock& b) {
+    const std::size_t n = std::max(a.ticks_.size(), b.ticks_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto tid = static_cast<rt::ThreadId>(i);
+      if (a.get(tid) != b.get(tid)) return false;
+    }
+    return true;
+  }
+
+  std::string describe() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < ticks_.size(); ++i) {
+      if (i) out += ",";
+      out += std::to_string(ticks_[i]);
+    }
+    return out + "]";
+  }
+
+  std::size_t width() const { return ticks_.size(); }
+
+ private:
+  void ensure(rt::ThreadId tid) {
+    if (tid >= ticks_.size()) ticks_.resize(tid + 1, 0);
+  }
+
+  support::small_vector<Tick, 8> ticks_;
+};
+
+}  // namespace rg::shadow

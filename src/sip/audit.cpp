@@ -1,0 +1,48 @@
+#include "sip/audit.hpp"
+
+#include <new>
+
+namespace rg::sip {
+
+AuditLog::AuditLog(std::string_view name, ObjectPool& pool)
+    : name_(name), pool_(pool), mu_(std::string(name) + "-mutex") {}
+
+AuditLog::~AuditLog() {
+  for (Entry* e : entries_) {
+    e->~Entry();
+    pool_.release(e, sizeof(Entry));
+  }
+}
+
+void AuditLog::append(std::uint64_t value, std::uint32_t kind,
+                      const std::source_location& /*loc*/) {
+  RG_FRAME();
+  rt::lock_guard guard(mu_);
+  auto* entry = new (pool_.acquire(sizeof(Entry))) Entry;
+  entry->value.store(value);
+  entry->kind.store(kind);
+  entries_.push_back(entry);
+}
+
+void AuditLog::trim(std::size_t keep, const std::source_location& /*loc*/) {
+  RG_FRAME();
+  rt::lock_guard guard(mu_);
+  while (entries_.size() > keep) {
+    Entry* e = entries_.front();
+    entries_.pop_front();
+    // Aggregate the entry into the running totals before discarding it —
+    // these reads (typically from the reaper thread) are what leave the
+    // recycled block in a SHARED state with this log's lockset.
+    flushed_total_ += e->value.load();
+    (void)e->kind.load();
+    e->~Entry();
+    pool_.release(e, sizeof(Entry));
+  }
+}
+
+std::size_t AuditLog::size() const {
+  rt::lock_guard guard(mu_);
+  return entries_.size();
+}
+
+}  // namespace rg::sip

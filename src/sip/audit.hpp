@@ -1,0 +1,56 @@
+// AuditLog — request/transaction journals with pooled entries.
+//
+// Two logs share one ObjectPool, so trimmed entries from one log get
+// recycled into the other. Each log is correctly guarded by its own mutex —
+// yet when the pool recycles a block *without* free/alloc events, the
+// detector's lockset for that memory intersects across the two lock
+// domains and empties: the libstdc++ allocation-strategy false positive of
+// §4, which disappears with the pool's force_new (GLIBCXX_FORCE_NEW) mode.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <source_location>
+#include <string>
+
+#include "rt/memory.hpp"
+#include "rt/sync.hpp"
+#include "sip/pool_alloc.hpp"
+
+namespace rg::sip {
+
+class AuditLog {
+ public:
+  AuditLog(std::string_view name, ObjectPool& pool);
+  ~AuditLog();
+
+  /// Appends an entry (allocated from the shared pool) under this log's
+  /// mutex.
+  void append(std::uint64_t value, std::uint32_t kind,
+              const std::source_location& loc =
+                  std::source_location::current());
+
+  /// Releases the oldest entries back to the pool until `keep` remain.
+  void trim(std::size_t keep,
+            const std::source_location& loc =
+                std::source_location::current());
+
+  std::size_t size() const;
+
+  /// Sum of values flushed out by trim (aggregation before discard).
+  std::uint64_t flushed_total() const { return flushed_total_; }
+
+ private:
+  struct Entry {
+    rt::tracked<std::uint64_t> value;
+    rt::tracked<std::uint32_t> kind;
+  };
+
+  std::string name_;
+  ObjectPool& pool_;
+  mutable rt::mutex mu_;
+  std::deque<Entry*> entries_;
+  std::uint64_t flushed_total_ = 0;
+};
+
+}  // namespace rg::sip

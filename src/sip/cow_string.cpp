@@ -1,0 +1,111 @@
+#include "sip/cow_string.hpp"
+
+namespace rg::sip {
+
+cow_string::Rep* cow_string::make_rep(std::string_view text,
+                                      const std::source_location& loc) {
+  Rep* rep = new Rep(text);
+  rt::mem_alloc(rep, sizeof(Rep), loc);
+  return rep;
+}
+
+cow_string::cow_string() : rep_(nullptr) {}
+
+cow_string::cow_string(std::string_view text, const std::source_location& loc)
+    : rep_(make_rep(text, loc)) {}
+
+cow_string::cow_string(const cow_string& other,
+                       const std::source_location& loc)
+    : rep_(other.rep_) {
+  if (rep_ == nullptr) return;
+  // _M_is_leaked(): a *plain* (non-LOCKed) read of the counter — the read
+  // access "preceding this write ... not using the lock" of §4.2.2.
+  (void)rep_->refcount.load(loc);
+  // _M_grab / _M_refcopy: bus-locked increment.
+  rep_->refcount.fetch_add(1, loc);
+}
+
+cow_string& cow_string::operator=(const cow_string& other) {
+  if (this == &other) return *this;
+  const std::source_location loc = std::source_location::current();
+  Rep* grabbed = other.rep_;
+  if (grabbed != nullptr) {
+    (void)grabbed->refcount.load(loc);
+    grabbed->refcount.fetch_add(1, loc);
+  }
+  dispose(loc);
+  rep_ = grabbed;
+  return *this;
+}
+
+cow_string::cow_string(cow_string&& other) noexcept : rep_(other.rep_) {
+  other.rep_ = nullptr;
+}
+
+cow_string& cow_string::operator=(cow_string&& other) noexcept {
+  if (this != &other) {
+    dispose(std::source_location::current());
+    rep_ = other.rep_;
+    other.rep_ = nullptr;
+  }
+  return *this;
+}
+
+cow_string::~cow_string() { dispose(std::source_location::current()); }
+
+void cow_string::dispose(const std::source_location& loc) {
+  if (rep_ == nullptr) return;
+  // _M_dispose: bus-locked decrement; the last owner frees the rep.
+  const int old = rep_->refcount.fetch_add(-1, loc);
+  if (old == 1) {
+    rt::mem_free(rep_, loc);
+    delete rep_;
+  }
+  rep_ = nullptr;
+}
+
+std::string cow_string::str(const std::source_location& loc) const {
+  if (rep_ == nullptr) return {};
+  rep_->chars.read(loc);
+  return rep_->data;
+}
+
+std::size_t cow_string::size(const std::source_location& loc) const {
+  if (rep_ == nullptr) return 0;
+  rep_->chars.read(loc);
+  return rep_->data.size();
+}
+
+void cow_string::append(std::string_view text,
+                        const std::source_location& loc) {
+  if (rep_ == nullptr) {
+    rep_ = make_rep(text, loc);
+    return;
+  }
+  // _M_mutate: reads the counter (plain), and if shared, unshares into a
+  // private rep before writing.
+  const int uses = rep_->refcount.load(loc);
+  if (uses > 1) {
+    Rep* fresh = make_rep(rep_->data, loc);
+    rep_->chars.read(loc);
+    fresh->data = rep_->data;
+    dispose(loc);
+    rep_ = fresh;
+  }
+  rep_->chars.write(loc);
+  rep_->data.append(text);
+}
+
+bool cow_string::equals(std::string_view text,
+                        const std::source_location& loc) const {
+  if (rep_ == nullptr) return text.empty();
+  rep_->chars.read(loc);
+  return rep_->data == text;
+}
+
+int cow_string::use_count(const std::source_location& loc) const {
+  if (rep_ == nullptr) return 0;
+  return rep_->refcount.load(loc);
+}
+
+}  // namespace rg::sip

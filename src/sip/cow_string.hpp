@@ -1,0 +1,80 @@
+// cow_string — a copy-on-write string with a bus-locked reference counter.
+//
+// Models the GNU libstdc++-v3 COW std::string of the paper's era precisely
+// enough to reproduce the Figs. 8/9 false positive: copying "sometimes
+// requires modifying the source object by adding the new reference" — a
+// LOCK-prefixed increment — while the shareability predicates read the
+// counter with plain unlocked loads. Under the mutex bus-lock model the
+// lockset of the counter intersects to ∅; under the paper's rw-lock model
+// it does not.
+#pragma once
+
+#include <source_location>
+#include <string>
+#include <string_view>
+
+#include "rt/memory.hpp"
+
+namespace rg::sip {
+
+class cow_string {
+ public:
+  cow_string();
+  explicit cow_string(
+      std::string_view text,
+      const std::source_location& loc = std::source_location::current());
+
+  /// _M_grab: plain read of the refcount (leak check) followed by a
+  /// bus-locked increment.
+  cow_string(const cow_string& other,
+             const std::source_location& loc = std::source_location::current());
+
+  cow_string& operator=(const cow_string& other);
+
+  cow_string(cow_string&& other) noexcept;
+  cow_string& operator=(cow_string&& other) noexcept;
+
+  /// _M_dispose: bus-locked decrement; frees the rep at zero.
+  ~cow_string();
+
+  /// Reads the character data (shared read of the rep).
+  std::string str(
+      const std::source_location& loc = std::source_location::current()) const;
+
+  std::size_t size(
+      const std::source_location& loc = std::source_location::current()) const;
+
+  bool empty(
+      const std::source_location& loc = std::source_location::current()) const {
+    return size(loc) == 0;
+  }
+
+  /// Forces a private copy before mutation (the COW part), then appends.
+  void append(
+      std::string_view text,
+      const std::source_location& loc = std::source_location::current());
+
+  bool equals(
+      std::string_view text,
+      const std::source_location& loc = std::source_location::current()) const;
+
+  /// Current reference count (plain read, like _M_is_shared()).
+  int use_count(
+      const std::source_location& loc = std::source_location::current()) const;
+
+ private:
+  struct Rep {
+    rt::atomic_cell<int> refcount;
+    rt::access_marker chars;
+    std::string data;
+
+    explicit Rep(std::string_view text) : refcount(1), data(text) {}
+  };
+
+  static Rep* make_rep(std::string_view text, const std::source_location& loc);
+  void dispose(const std::source_location& loc);
+
+  Rep* rep_;
+};
+
+}  // namespace rg::sip

@@ -1,0 +1,66 @@
+#include "sip/deadlock_monitor.hpp"
+
+#include "rt/sim.hpp"
+#include "support/assert.hpp"
+
+namespace rg::sip {
+
+DeadlockMonitor::DeadlockMonitor(std::uint64_t timeout_ticks)
+    : timeout_ticks_(timeout_ticks), stop_flag_(0), alarms_(0) {}
+
+DeadlockMonitor::~DeadlockMonitor() {
+  if (watchdog_.joinable()) stop();
+}
+
+void DeadlockMonitor::start(const std::source_location& loc) {
+  RG_ASSERT_MSG(!watchdog_.joinable(), "monitor already running");
+  stop_flag_.store(0);
+  watchdog_ = rt::thread([this] { watchdog_loop(); }, "deadlock-watchdog",
+                         loc);
+}
+
+void DeadlockMonitor::stop(const std::source_location& /*loc*/) {
+  // The stop flag itself is part of the racy bookkeeping: a plain shared
+  // write, as found in the original.
+  stop_flag_.store(1);
+  watchdog_.join();
+}
+
+void DeadlockMonitor::note_acquire(std::size_t slot, std::uint64_t now,
+                                   const std::source_location& /*loc*/) {
+  RG_ASSERT(slot < kSlots);
+  // Unsynchronised: the watchdog reads these fields concurrently.
+  slots_[slot].acquired_at.store(now);
+  slots_[slot].holder.store(
+      static_cast<std::uint32_t>(rt::Sim::current_thread()) + 1);
+}
+
+void DeadlockMonitor::note_release(std::size_t slot,
+                                   const std::source_location& /*loc*/) {
+  RG_ASSERT(slot < kSlots);
+  slots_[slot].holder.store(0);
+}
+
+std::uint64_t DeadlockMonitor::alarms(const std::source_location& /*loc*/) const {
+  return alarms_.load();
+}
+
+void DeadlockMonitor::watchdog_loop() {
+  RG_FRAME();
+  rt::Sim* sim = rt::Sim::current();
+  while (stop_flag_.load() == 0) {
+    const std::uint64_t now =
+        sim != nullptr ? sim->sched().virtual_time() : 0;
+    for (Slot& slot : slots_) {
+      // Racy reads of worker-written bookkeeping.
+      const std::uint32_t holder = slot.holder.load();
+      if (holder == 0) continue;
+      const std::uint64_t since = slot.acquired_at.load();
+      if (now > since && now - since > timeout_ticks_)
+        alarms_.store(alarms_.load() + 1);
+    }
+    rt::sleep_ticks(50);
+  }
+}
+
+}  // namespace rg::sip

@@ -1,0 +1,66 @@
+// Application-level deadlock watchdog — itself racy (§4.1).
+//
+// The paper: "Deadlocks on Mutex locks are detected by the application
+// using a timeout while trying to acquire a lock inside the lock-function"
+// and "one of the first reported data races was in the application's
+// deadlock detection code. Unfortunately, this code was not easy to change
+// … Therefore, it was disabled for further experiments." The monitor keeps
+// per-slot acquisition bookkeeping that worker threads update without
+// synchronisation and a watchdog thread scans concurrently.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <source_location>
+#include <string>
+
+#include "rt/memory.hpp"
+#include "rt/thread.hpp"
+
+namespace rg::sip {
+
+class DeadlockMonitor {
+ public:
+  static constexpr std::size_t kSlots = 4;
+
+  /// `timeout_ticks`: hold time after which the watchdog flags a slot.
+  explicit DeadlockMonitor(std::uint64_t timeout_ticks = 500);
+  ~DeadlockMonitor();
+
+  /// Starts the watchdog thread. Must run inside a Sim.
+  void start(const std::source_location& loc =
+                 std::source_location::current());
+  /// Stops and joins the watchdog.
+  void stop(const std::source_location& loc =
+                std::source_location::current());
+
+  /// Workers call these around lock acquisition — unsynchronised writes,
+  /// the seeded defect.
+  void note_acquire(std::size_t slot, std::uint64_t now,
+                    const std::source_location& loc =
+                        std::source_location::current());
+  void note_release(std::size_t slot,
+                    const std::source_location& loc =
+                        std::source_location::current());
+
+  std::uint64_t alarms(const std::source_location& loc =
+                           std::source_location::current()) const;
+
+  bool running() const { return watchdog_.joinable(); }
+
+ private:
+  void watchdog_loop();
+
+  struct Slot {
+    rt::tracked<std::uint64_t> acquired_at;
+    rt::tracked<std::uint32_t> holder;  // 0 = free, else thread id + 1
+  };
+
+  std::uint64_t timeout_ticks_;
+  std::array<Slot, kSlots> slots_;
+  rt::tracked<std::uint8_t> stop_flag_;
+  rt::tracked<std::uint64_t> alarms_;
+  rt::thread watchdog_;
+};
+
+}  // namespace rg::sip

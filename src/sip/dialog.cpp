@@ -1,0 +1,171 @@
+#include "sip/dialog.hpp"
+
+#include "annotate/runtime.hpp"
+
+namespace rg::sip {
+
+MediaSession::MediaSession(cow_string sdp)
+    : sdp_(std::move(sdp)), updates_(0) {}
+
+MediaSession::~MediaSession() { vptr_write(); }
+
+void MediaSession::update(cow_string sdp, const std::source_location& loc) {
+  virtual_dispatch(loc);
+  sdp_ = std::move(sdp);
+  updates_.store(updates_.load() + 1);
+}
+
+cow_string MediaSession::sdp(const std::source_location& loc) const {
+  virtual_dispatch(loc);
+  return cow_string(sdp_);
+}
+
+std::uint32_t MediaSession::updates(const std::source_location& /*loc*/) const {
+  return updates_.load();
+}
+
+BillingRecord::BillingRecord(std::uint64_t start) : start_(start), end_(0) {}
+
+BillingRecord::~BillingRecord() { vptr_write(); }
+
+void BillingRecord::close(std::uint64_t end, const std::source_location& loc) {
+  virtual_dispatch(loc);
+  end_.store(end);
+}
+
+std::uint64_t BillingRecord::duration(
+    const std::source_location& /*loc*/) const {
+  const std::uint64_t end = end_.load();
+  const std::uint64_t start = start_.load();
+  return end > start ? end - start : 0;
+}
+
+RouteSet::RouteSet(cow_string route) : route_(std::move(route)) {}
+
+RouteSet::~RouteSet() { vptr_write(); }
+
+cow_string RouteSet::next_hop(const std::source_location& loc) const {
+  virtual_dispatch(loc);
+  return cow_string(route_);
+}
+
+CallStats::CallStats() : messages_(0) {}
+
+CallStats::~CallStats() { vptr_write(); }
+
+void CallStats::bump(const std::source_location& loc) {
+  virtual_dispatch(loc);
+  messages_.store(messages_.load() + 1);
+}
+
+std::uint32_t CallStats::messages() const { return messages_.load(); }
+
+Dialog::Dialog(std::string id, cow_string sdp, std::uint64_t now)
+    : id_(std::move(id)),
+      mu_("dialog-mutex:" + id_),
+      state_(DialogState::Early),
+      media_(new MediaSession(std::move(sdp))),
+      billing_(new BillingRecord(now)),
+      routes_(new RouteSet(cow_string("sip:core.example.com;lr"))),
+      call_stats_(new CallStats) {}
+
+Dialog::~Dialog() {
+  vptr_write();
+  delete annotate::ca_deletor_single(media_);
+  delete annotate::ca_deletor_single(billing_);
+  delete annotate::ca_deletor_single(routes_);
+  delete annotate::ca_deletor_single(call_stats_);
+}
+
+void Dialog::confirm(const std::source_location& loc) {
+  virtual_dispatch(loc);
+  // The answer SDP and route set are consulted when the dialog confirms.
+  (void)media_->sdp();
+  (void)routes_->next_hop();
+  rt::lock_guard guard(mu_);
+  call_stats_->bump();
+  if (state_.load() == DialogState::Early)
+    state_.store(DialogState::Confirmed);
+}
+
+void Dialog::terminate(std::uint64_t now, const std::source_location& loc) {
+  virtual_dispatch(loc);
+  // Final SDP and route set feed the call detail record.
+  (void)media_->sdp();
+  (void)routes_->next_hop();
+  rt::lock_guard guard(mu_);
+  call_stats_->bump();
+  state_.store(DialogState::Terminated);
+  billing_->close(now);
+}
+
+DialogState Dialog::state(const std::source_location& /*loc*/) const {
+  rt::lock_guard guard(mu_);
+  return state_.load();
+}
+
+DialogTable::DialogTable() : mu_("dialog-table-mutex") {}
+
+namespace {
+/// Shared-ownership deleter carrying the Fig. 4 annotation: whichever
+/// thread drops the last reference announces the destruction.
+void annotated_delete(Dialog* d) { delete annotate::ca_deletor_single(d); }
+}  // namespace
+
+DialogTable::~DialogTable() { dialogs_.clear(); }
+
+std::shared_ptr<Dialog> DialogTable::create(const std::string& id,
+                                            cow_string sdp, std::uint64_t now,
+                                            const std::source_location& /*loc*/) {
+  RG_FRAME();
+  rt::lock_guard guard(mu_);
+  marker_.write();
+  auto it = dialogs_.find(id);
+  if (it != dialogs_.end()) return it->second;
+  std::shared_ptr<Dialog> d(new Dialog(id, std::move(sdp), now),
+                            &annotated_delete);
+  dialogs_.emplace(id, d);
+  return d;
+}
+
+std::shared_ptr<Dialog> DialogTable::find(const std::string& id,
+                                          const std::source_location& /*loc*/) {
+  RG_FRAME();
+  rt::lock_guard guard(mu_);
+  marker_.read();
+  auto it = dialogs_.find(id);
+  return it == dialogs_.end() ? nullptr : it->second;
+}
+
+bool DialogTable::terminate(const std::string& id, std::uint64_t now,
+                            const std::source_location& /*loc*/) {
+  RG_FRAME();
+  std::shared_ptr<Dialog> d;
+  {
+    rt::lock_guard guard(mu_);
+    marker_.write();
+    auto it = dialogs_.find(id);
+    if (it == dialogs_.end()) return false;
+    d = std::move(it->second);
+    dialogs_.erase(it);
+  }
+  // Terminate outside the table lock (the original's pattern: don't hold
+  // the table mutex across billing teardown). The annotated delete runs
+  // when the last concurrent user releases the dialog.
+  d->terminate(now);
+  return true;
+}
+
+void DialogTable::clear(const std::source_location& /*loc*/) {
+  rt::lock_guard guard(mu_);
+  marker_.write();
+  dialogs_.clear();
+}
+
+std::size_t DialogTable::size() const {
+  rt::lock_guard guard(mu_);
+  marker_.read();
+  return dialogs_.size();
+}
+
+}  // namespace rg::sip

@@ -1,0 +1,150 @@
+// Dialog layer — per-call session state.
+//
+// A confirmed INVITE dialog owns a media session and a billing record.
+// These are the proxy's churning polymorphic objects: created by the
+// INVITE worker, virtually dispatched by the ACK/BYE workers of the same
+// call (which run concurrently under load), and deleted inline by whichever
+// worker terminates the call. Their destructor chains are the dominant
+// source of §4.2.1 false positives — and of DR-annotation wins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <source_location>
+#include <string>
+
+#include "rt/memory.hpp"
+#include "rt/sync.hpp"
+#include "sip/cow_string.hpp"
+#include "sip/message.hpp"
+
+namespace rg::sip {
+
+enum class DialogState : std::uint8_t { Early, Confirmed, Terminated };
+
+/// The record-route set learned during dialog establishment.
+class RouteSet final : public SipObject {
+ public:
+  explicit RouteSet(cow_string route);
+  ~RouteSet() override;
+
+  virtual cow_string next_hop(
+      const std::source_location& loc =
+          std::source_location::current()) const;
+
+ private:
+  cow_string route_;
+};
+
+/// Per-call counters (messages seen, media updates).
+class CallStats final : public SipObject {
+ public:
+  CallStats();
+  ~CallStats() override;
+
+  virtual void bump(const std::source_location& loc =
+                        std::source_location::current());
+  std::uint32_t messages() const;
+
+ private:
+  rt::tracked<std::uint32_t> messages_;
+};
+
+/// Negotiated media description for one call.
+class MediaSession : public SipObject {
+ public:
+  explicit MediaSession(cow_string sdp);
+  ~MediaSession() override;
+
+  /// Renegotiation (re-INVITE / INFO DTMF); guarded by the dialog's lock.
+  virtual void update(cow_string sdp,
+                      const std::source_location& loc =
+                          std::source_location::current());
+  cow_string sdp(const std::source_location& loc =
+                     std::source_location::current()) const;
+  std::uint32_t updates(const std::source_location& loc =
+                            std::source_location::current()) const;
+
+ private:
+  cow_string sdp_;
+  rt::tracked<std::uint32_t> updates_;
+};
+
+/// Call detail record skeleton.
+class BillingRecord : public SipObject {
+ public:
+  explicit BillingRecord(std::uint64_t start);
+  ~BillingRecord() override;
+
+  virtual void close(std::uint64_t end,
+                     const std::source_location& loc =
+                         std::source_location::current());
+  std::uint64_t duration(const std::source_location& loc =
+                             std::source_location::current()) const;
+
+ private:
+  rt::tracked<std::uint64_t> start_;
+  rt::tracked<std::uint64_t> end_;
+};
+
+class Dialog : public SipObject {
+ public:
+  Dialog(std::string id, cow_string sdp, std::uint64_t now);
+  /// Deletes the owned media session and billing record (annotated —
+  /// this module ships with source).
+  ~Dialog() override;
+
+  const std::string& id() const { return id_; }
+
+  virtual void confirm(const std::source_location& loc =
+                           std::source_location::current());
+  virtual void terminate(std::uint64_t now,
+                         const std::source_location& loc =
+                             std::source_location::current());
+  DialogState state(const std::source_location& loc =
+                        std::source_location::current()) const;
+
+  MediaSession& media() { return *media_; }
+  BillingRecord& billing() { return *billing_; }
+
+ private:
+  std::string id_;
+  mutable rt::mutex mu_;
+  rt::tracked<DialogState> state_;
+  MediaSession* media_;
+  BillingRecord* billing_;
+  RouteSet* routes_;
+  CallStats* call_stats_;
+};
+
+/// Call-ID -> dialog, guarded by one mutex; terminated dialogs are deleted
+/// inline by the worker that ends the call.
+class DialogTable {
+ public:
+  DialogTable();
+  ~DialogTable();
+
+  std::shared_ptr<Dialog> create(const std::string& id, cow_string sdp,
+                                 std::uint64_t now,
+                                 const std::source_location& loc =
+                                     std::source_location::current());
+  std::shared_ptr<Dialog> find(const std::string& id,
+                               const std::source_location& loc =
+                                   std::source_location::current());
+  /// Terminates and unlinks the dialog; the worker dropping the last
+  /// reference performs the (annotated) delete. Returns false if unknown.
+  bool terminate(const std::string& id, std::uint64_t now,
+                 const std::source_location& loc =
+                     std::source_location::current());
+  void clear(const std::source_location& loc =
+                 std::source_location::current());
+  std::size_t size() const;
+
+ private:
+  mutable rt::mutex mu_;
+  std::map<std::string, std::shared_ptr<Dialog>> dialogs_;
+  mutable rt::access_marker marker_;
+};
+
+}  // namespace rg::sip

@@ -1,0 +1,78 @@
+// Request dispatchers — the two concurrency patterns of Figs. 10/11.
+//
+// Thread-per-request (the proxy as measured in the paper): ownership of the
+// request data passes to the worker at thread creation and back at join, so
+// the thread-segment algorithm keeps it EXCLUSIVE and stays silent.
+//
+// Thread-pool (the planned pattern, §4.2.3): workers are created *before*
+// the job data is initialised, and ownership hand-off happens through queue
+// put/get operations the baseline lockset algorithm knows nothing about —
+// so it reports false positives on the first worker write to each job. The
+// hb_message_passing detector extension removes them.
+#pragma once
+
+#include <memory>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "rt/memory.hpp"
+#include "rt/queue.hpp"
+#include "rt/thread.hpp"
+
+namespace rg::sip {
+
+class Proxy;
+
+/// One unit of work handed to a worker.
+struct Job {
+  explicit Job(std::string wire_text);
+
+  std::string wire;  // request text (immutable after construction)
+  /// 0 = submitted, 1 = in progress, 2 = done. Written by producer and
+  /// worker — the hand-off field the Fig. 11 warning lands on.
+  rt::tracked<std::uint32_t> state;
+  std::string response;
+  rt::access_marker response_marker;
+};
+
+class Dispatcher {
+ public:
+  virtual ~Dispatcher() = default;
+
+  /// Feeds every request through the proxy; returns the responses in
+  /// arbitrary order ("" for absorbed requests like ACK).
+  virtual std::vector<std::string> dispatch(Proxy& proxy,
+                                            const std::vector<std::string>&
+                                                wires) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// Fig. 10: one thread per request, joined in batches.
+class ThreadPerRequestDispatcher final : public Dispatcher {
+ public:
+  explicit ThreadPerRequestDispatcher(std::size_t max_parallel = 8);
+
+  std::vector<std::string> dispatch(
+      Proxy& proxy, const std::vector<std::string>& wires) override;
+  const char* name() const override { return "thread-per-request"; }
+
+ private:
+  std::size_t max_parallel_;
+};
+
+/// Fig. 11: a fixed worker pool fed through a message queue.
+class ThreadPoolDispatcher final : public Dispatcher {
+ public:
+  explicit ThreadPoolDispatcher(std::size_t workers = 4);
+
+  std::vector<std::string> dispatch(
+      Proxy& proxy, const std::vector<std::string>& wires) override;
+  const char* name() const override { return "thread-pool"; }
+
+ private:
+  std::size_t workers_;
+};
+
+}  // namespace rg::sip

@@ -1,0 +1,103 @@
+#include "sip/domain_data.hpp"
+
+#include "annotate/runtime.hpp"
+
+namespace rg::sip {
+
+DomainData::DomainData(std::string_view name, std::string_view route,
+                       std::uint32_t max_forwards)
+    : name_(name), route_(route), max_forwards_(max_forwards) {}
+
+DomainData::~DomainData() { vptr_write(); }
+
+cow_string DomainData::route(const std::source_location& /*loc*/) const {
+  virtual_dispatch();
+  return cow_string(route_);
+}
+
+std::uint32_t DomainData::max_forwards(const std::source_location& /*loc*/) const {
+  return max_forwards_.load();
+}
+
+void DomainData::set_max_forwards(std::uint32_t value,
+                                  const std::source_location& /*loc*/) {
+  max_forwards_.store(value);
+}
+
+ServerModulesManagerImpl::ServerModulesManagerImpl()
+    : mu_("domain-data-mutex") {}
+
+ServerModulesManagerImpl::~ServerModulesManagerImpl() {
+  for (auto& [name, d] : domains_) delete d;
+  domains_.clear();
+}
+
+void ServerModulesManagerImpl::add_domain(std::string_view name,
+                                          std::string_view route,
+                                          std::uint32_t max_forwards,
+                                          const std::source_location& /*loc*/) {
+  RG_FRAME();
+  rt::lock_guard guard(mu_);
+  marker_.write();
+  const std::string key(name);
+  auto it = domains_.find(key);
+  if (it != domains_.end()) delete annotate::ca_deletor_single(it->second);
+  domains_[key] = new DomainData(name, route, max_forwards);
+}
+
+DomainMap& ServerModulesManagerImpl::getDomainData(
+    const std::source_location& /*loc*/) {
+  RG_FRAME();
+  // Fig. 7: "MutexPtr mut(m_pMutex); // Guard" — scoped to this function
+  // body, useless to the caller.
+  rt::lock_guard guard(mu_);
+  return domains_;
+}
+
+DomainData* ServerModulesManagerImpl::find_domain(
+    const std::string& name, const std::source_location& /*loc*/) {
+  RG_FRAME();
+  rt::lock_guard guard(mu_);
+  marker_.read();
+  auto it = domains_.find(name);
+  return it == domains_.end() ? nullptr : it->second;
+}
+
+DomainData* ServerModulesManagerImpl::find_domain_unprotected(
+    const std::string& name, const std::source_location& /*loc*/) {
+  RG_FRAME();
+  DomainMap& map = getDomainData();
+  // The guard is already gone: this read races with add_domain / clear.
+  marker_.read();
+  auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second;
+}
+
+void ServerModulesManagerImpl::clear(bool annotated,
+                                     const std::source_location& /*loc*/) {
+  rt::lock_guard guard(mu_);
+  marker_.write();
+  for (auto& [name, d] : domains_) {
+    if (annotated)
+      delete annotate::ca_deletor_single(d);
+    else
+      delete d;
+  }
+  domains_.clear();
+}
+
+void ServerModulesManagerImpl::unsafe_shutdown_touch(
+    const std::source_location& /*loc*/) {
+  RG_FRAME();
+  // §4.1.1 shutdown-order defect: the teardown path resets the structure
+  // without the lock while the reaper thread may still be reading it.
+  marker_.write();
+}
+
+std::size_t ServerModulesManagerImpl::size() const {
+  rt::lock_guard guard(mu_);
+  marker_.read();
+  return domains_.size();
+}
+
+}  // namespace rg::sip

@@ -1,0 +1,94 @@
+// Domain data manager — carries the Fig. 7 defect.
+//
+//   map<string,DomainData*>& ServerModulesManagerImpl::getDomainData()
+//   {
+//     MutexPtr mut(m_pMutex); // Guard
+//     return m_DomainData;
+//   }
+//
+// The guard protects nothing: it is released when the reference is
+// returned, and every caller then walks the map unsynchronised. "This bug
+// requires to rewrite the function and all functions that use it" — the
+// fixed accessors below are that rewrite, selected by FaultConfig.
+#pragma once
+
+#include <map>
+#include <source_location>
+#include <string>
+
+#include "rt/memory.hpp"
+#include "rt/sync.hpp"
+#include "sip/cow_string.hpp"
+#include "sip/message.hpp"
+
+namespace rg::sip {
+
+/// Per-domain routing configuration. Polymorphic + shared + deleted at
+/// shutdown: another destructor-annotation workload.
+class DomainData : public SipObject {
+ public:
+  DomainData(std::string_view name, std::string_view route,
+             std::uint32_t max_forwards);
+  ~DomainData() override;
+
+  cow_string route(const std::source_location& loc =
+                       std::source_location::current()) const;
+  std::uint32_t max_forwards(const std::source_location& loc =
+                                 std::source_location::current()) const;
+  void set_max_forwards(std::uint32_t value,
+                        const std::source_location& loc =
+                            std::source_location::current());
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;  // immutable after construction
+  cow_string route_;
+  rt::tracked<std::uint32_t> max_forwards_;
+};
+
+using DomainMap = std::map<std::string, DomainData*>;
+
+class ServerModulesManagerImpl {
+ public:
+  ServerModulesManagerImpl();
+  ~ServerModulesManagerImpl();
+
+  void add_domain(std::string_view name, std::string_view route,
+                  std::uint32_t max_forwards,
+                  const std::source_location& loc =
+                      std::source_location::current());
+
+  /// The Fig. 7 accessor: momentary guard, then an unprotected reference.
+  /// Callers that iterate the result race with add/remove.
+  DomainMap& getDomainData(const std::source_location& loc =
+                               std::source_location::current());
+
+  /// The rewritten, correct accessor: lookup fully under the lock.
+  DomainData* find_domain(const std::string& name,
+                          const std::source_location& loc =
+                              std::source_location::current());
+
+  /// Walks the map through the buggy reference (no lock) — the call shape
+  /// the tool flagged. Returns the matching domain or nullptr.
+  DomainData* find_domain_unprotected(
+      const std::string& name,
+      const std::source_location& loc = std::source_location::current());
+
+  /// Deletes all domain data. `annotated` selects the Fig. 4 path.
+  void clear(bool annotated, const std::source_location& loc =
+                                 std::source_location::current());
+
+  /// Touches the map the way the shutdown path does when the
+  /// shutdown-order fault is active: writes without taking the lock.
+  void unsafe_shutdown_touch(const std::source_location& loc =
+                                 std::source_location::current());
+
+  std::size_t size() const;
+
+ private:
+  mutable rt::mutex mu_;
+  DomainMap domains_;
+  mutable rt::access_marker marker_;
+};
+
+}  // namespace rg::sip

@@ -1,0 +1,63 @@
+// The seeded fault catalogue.
+//
+// The paper's proxy is proprietary; what matters for reproducing its
+// evaluation is the *classes* of defects and detector-confusing patterns it
+// exhibited. Each toggle below seeds one class from §4.1 (true positives)
+// or §4.2 (false-positive sources); integration tests assert that each is
+// detected exactly when enabled, and the Fig. 5/6 harness runs with the
+// catalogue on.
+#pragma once
+
+namespace rg::sip {
+
+struct FaultConfig {
+  // --- §4.1 true positives ------------------------------------------------
+  /// Fig. 7: getDomainData() returns a reference to the internal map after
+  /// the guard is released; callers then use it unprotected.
+  bool unprotected_domain_map = true;
+  /// §4.1.1: the expiry-reaper thread is started before the structures it
+  /// uses are fully initialised.
+  bool init_order_race = true;
+  /// §4.1.1: on shutdown, domain data is torn down before the thread using
+  /// it has terminated.
+  bool shutdown_order_race = true;
+  /// §4.1.3: a ctime()-style helper returning a pointer to a static buffer
+  /// is called from worker threads.
+  bool unsafe_time_function = true;
+  /// §4.1: "one of the first reported data races was in the application's
+  /// deadlock detection code" — the watchdog reads lock bookkeeping that
+  /// workers update without synchronisation.
+  bool racy_deadlock_monitor = true;
+  /// Unprotected monotonic statistics counters (benign races, but reported
+  /// — part of "correctly reported data races" triage load).
+  bool benign_stats_races = true;
+
+  // --- §4.2 false-positive sources (beyond destructors / bus lock) --------
+  /// "Parts of the program where the source code is not available will not
+  /// benefit from this annotation": a third-party codec module deletes its
+  /// objects with unannotated `delete`.
+  bool third_party_unannotated_deletes = true;
+  /// §4 libstdc++ allocator issue: registrar bindings come from an internal
+  /// pool that recycles memory *without* free/alloc events. Setting
+  /// `pool_force_new` (the GLIBCXX_FORCE_NEW analogue) disables the pool.
+  bool pooled_allocator_reuse = false;
+
+  /// Everything off — the "fixed" build used to verify detectors go quiet.
+  static FaultConfig none() {
+    FaultConfig f;
+    f.unprotected_domain_map = false;
+    f.init_order_race = false;
+    f.shutdown_order_race = false;
+    f.unsafe_time_function = false;
+    f.racy_deadlock_monitor = false;
+    f.benign_stats_races = false;
+    f.third_party_unannotated_deletes = false;
+    f.pooled_allocator_reuse = false;
+    return f;
+  }
+
+  /// The paper's application as found: every §4.1/§4.2 class present.
+  static FaultConfig paper() { return FaultConfig{}; }
+};
+
+}  // namespace rg::sip

@@ -1,0 +1,226 @@
+#include "sip/message.hpp"
+
+#include "annotate/runtime.hpp"
+#include "support/strings.hpp"
+
+namespace rg::sip {
+
+Method parse_method(std::string_view text) {
+  if (text == "INVITE") return Method::Invite;
+  if (text == "ACK") return Method::Ack;
+  if (text == "BYE") return Method::Bye;
+  if (text == "CANCEL") return Method::Cancel;
+  if (text == "OPTIONS") return Method::Options;
+  if (text == "REGISTER") return Method::Register;
+  if (text == "INFO") return Method::Info;
+  return Method::Unknown;
+}
+
+const char* to_string(Method m) {
+  switch (m) {
+    case Method::Invite:
+      return "INVITE";
+    case Method::Ack:
+      return "ACK";
+    case Method::Bye:
+      return "BYE";
+    case Method::Cancel:
+      return "CANCEL";
+    case Method::Options:
+      return "OPTIONS";
+    case Method::Register:
+      return "REGISTER";
+    case Method::Info:
+      return "INFO";
+    case Method::Unknown:
+      break;
+  }
+  return "UNKNOWN";
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 100:
+      return "Trying";
+    case 180:
+      return "Ringing";
+    case 200:
+      return "OK";
+    case 202:
+      return "Accepted";
+    case 400:
+      return "Bad Request";
+    case 403:
+      return "Forbidden";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 481:
+      return "Call/Transaction Does Not Exist";
+    case 482:
+      return "Loop Detected";
+    case 486:
+      return "Busy Here";
+    case 487:
+      return "Request Terminated";
+    case 500:
+      return "Server Internal Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+MessageMeta::MessageMeta() : serialized_(0) {}
+
+MessageMeta::~MessageMeta() { vptr_write(); }
+
+void MessageMeta::note_serialized(const std::source_location& loc) const {
+  virtual_dispatch(loc);
+  // Framing flags are fixed at parse time; serialisation only reads them.
+  (void)serialized_.load();
+}
+
+std::uint32_t MessageMeta::serialized_count() const {
+  return serialized_.load();
+}
+
+SipMessage::SipMessage() : meta_(new MessageMeta) {}
+
+SipMessage::~SipMessage() {
+  vptr_write();
+  delete annotate::ca_deletor_single(meta_);
+}
+
+void SipMessage::add_header(std::string_view name, cow_string value,
+                            const std::source_location& loc) {
+  headers_marker_.write(loc);
+  headers_.push_back(Header{support::to_lower(name), std::move(value)});
+}
+
+bool SipMessage::has_header(std::string_view name,
+                            const std::source_location& loc) const {
+  headers_marker_.read(loc);
+  const std::string key = support::to_lower(name);
+  for (const Header& h : headers_)
+    if (h.name == key) return true;
+  return false;
+}
+
+cow_string SipMessage::header(std::string_view name,
+                              const std::source_location& loc) const {
+  headers_marker_.read(loc);
+  const std::string key = support::to_lower(name);
+  for (const Header& h : headers_)
+    if (h.name == key) return cow_string(h.value, loc);
+  return cow_string{};
+}
+
+std::vector<cow_string> SipMessage::headers(
+    std::string_view name, const std::source_location& loc) const {
+  headers_marker_.read(loc);
+  const std::string key = support::to_lower(name);
+  std::vector<cow_string> out;
+  for (const Header& h : headers_)
+    if (h.name == key) out.emplace_back(h.value, loc);
+  return out;
+}
+
+bool SipMessage::remove_top_header(std::string_view name,
+                                   const std::source_location& loc) {
+  headers_marker_.write(loc);
+  const std::string key = support::to_lower(name);
+  for (auto it = headers_.begin(); it != headers_.end(); ++it) {
+    if (it->name == key) {
+      headers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void SipMessage::push_header_front(std::string_view name, cow_string value,
+                                   const std::source_location& loc) {
+  headers_marker_.write(loc);
+  headers_.insert(headers_.begin(),
+                  Header{support::to_lower(name), std::move(value)});
+}
+
+void SipMessage::set_body(cow_string body, const std::source_location& loc) {
+  headers_marker_.write(loc);
+  body_ = std::move(body);
+}
+
+cow_string SipMessage::body(const std::source_location& loc) const {
+  headers_marker_.read(loc);
+  return cow_string(body_, loc);
+}
+
+namespace {
+/// Canonical wire capitalisation for the common headers.
+std::string wire_name(std::string_view canonical) {
+  std::string out;
+  bool upper = true;
+  for (char c : canonical) {
+    out += upper && c >= 'a' && c <= 'z' ? static_cast<char>(c - 'a' + 'A') : c;
+    upper = c == '-';
+  }
+  if (out == "Call-Id") out = "Call-ID";
+  if (out == "Cseq") out = "CSeq";
+  if (out == "Www-Authenticate") out = "WWW-Authenticate";
+  return out;
+}
+}  // namespace
+
+std::string SipMessage::serialize() const {
+  meta_->note_serialized();
+  std::string out = start_line();
+  out += "\r\n";
+  const std::string body_text = body_.str();
+  for (const Header& h : headers_) {
+    out += wire_name(h.name);
+    out += ": ";
+    out += h.value.str();
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(body_text.size());
+  out += "\r\n\r\n";
+  out += body_text;
+  return out;
+}
+
+SipRequest::SipRequest(Method method, std::string_view uri)
+    : method_(method), uri_(uri) {}
+
+bool SipRequest::is_request() const {
+  virtual_dispatch();
+  return true;
+}
+
+std::string SipRequest::start_line() const {
+  virtual_dispatch();
+  return std::string(to_string(method_)) + " " + uri_.str() + " SIP/2.0";
+}
+
+SipResponse::SipResponse(int status)
+    : status_(status), reason_(reason_phrase(status)) {}
+
+SipResponse::SipResponse(int status, std::string_view reason)
+    : status_(status), reason_(reason) {}
+
+bool SipResponse::is_request() const {
+  virtual_dispatch();
+  return false;
+}
+
+std::string SipResponse::start_line() const {
+  virtual_dispatch();
+  return "SIP/2.0 " + std::to_string(status_) + " " + reason_.str();
+}
+
+}  // namespace rg::sip

@@ -1,0 +1,164 @@
+// SIP message model.
+//
+// The program under test is a Session Initiation Protocol signalling proxy
+// (paper §3.3). Messages form a small polymorphic hierarchy rooted in
+// rt::instrumented_object so their construction, virtual dispatch and
+// destruction produce exactly the alloc / vptr-read / vptr-write event
+// patterns whose misinterpretation the paper's DR improvement fixes.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/memory.hpp"
+#include "sip/cow_string.hpp"
+
+namespace rg::sip {
+
+enum class Method : std::uint8_t {
+  Invite,
+  Ack,
+  Bye,
+  Cancel,
+  Options,
+  Register,
+  Info,
+  Unknown,
+};
+
+Method parse_method(std::string_view text);
+const char* to_string(Method m);
+
+/// Canonical status phrases for the responses the proxy emits.
+std::string_view reason_phrase(int status);
+
+/// One header field. Values are cow_strings: sharing them between messages
+/// and server state is what drives the reference-counter traffic of the
+/// Figs. 8/9 experiment.
+struct Header {
+  std::string name;  // canonical lower-case
+  cow_string value;
+};
+
+/// Root of the instrumented object hierarchy of the program under test.
+class SipObject : public rt::instrumented_object {
+ public:
+  ~SipObject() override { vptr_write(); }
+};
+
+/// Per-message parse metadata (compact-form flags, framing info). A heap
+/// subobject of every message: virtually dispatched whenever the message is
+/// serialised and destroyed with its owner — one more destructor-chain
+/// member of the §4.2.1 class.
+class MessageMeta final : public SipObject {
+ public:
+  MessageMeta();
+  ~MessageMeta() override;
+
+  /// Notes one serialisation pass (vptr read + counter bump).
+  virtual void note_serialized(
+      const std::source_location& loc = std::source_location::current()) const;
+  std::uint32_t serialized_count() const;
+
+ private:
+  mutable rt::tracked<std::uint32_t> serialized_;
+};
+
+class SipMessage : public SipObject {
+ public:
+  ~SipMessage() override;
+
+  virtual bool is_request() const = 0;
+  virtual std::string start_line() const = 0;
+
+  void add_header(std::string_view name, cow_string value,
+                  const std::source_location& loc =
+                      std::source_location::current());
+  bool has_header(std::string_view name,
+                  const std::source_location& loc =
+                      std::source_location::current()) const;
+  /// Copy of the first header value with this name (empty if absent).
+  cow_string header(std::string_view name,
+                    const std::source_location& loc =
+                        std::source_location::current()) const;
+  /// Every value for a repeatable header (e.g. Via), topmost first.
+  std::vector<cow_string> headers(std::string_view name,
+                                  const std::source_location& loc =
+                                      std::source_location::current()) const;
+  /// Removes the first (topmost) header with this name; false if absent.
+  bool remove_top_header(std::string_view name,
+                         const std::source_location& loc =
+                             std::source_location::current());
+  /// Prepends a header (Via stacking).
+  void push_header_front(std::string_view name, cow_string value,
+                         const std::source_location& loc =
+                             std::source_location::current());
+
+  std::size_t header_count() const { return headers_.size(); }
+
+  void set_body(cow_string body,
+                const std::source_location& loc =
+                    std::source_location::current());
+  cow_string body(const std::source_location& loc =
+                      std::source_location::current()) const;
+
+  /// Renders the full message (start line, headers, Content-Length, body).
+  std::string serialize() const;
+
+ protected:
+  SipMessage();
+
+  std::vector<Header> headers_;
+  cow_string body_;
+  MessageMeta* meta_;
+  /// Container interior as the detector sees it.
+  mutable rt::access_marker headers_marker_;
+};
+
+class SipRequest final : public SipMessage {
+ public:
+  SipRequest() = default;
+  SipRequest(Method method, std::string_view uri);
+  ~SipRequest() override { vptr_write(); }
+
+  bool is_request() const override;
+  std::string start_line() const override;
+
+  Method method() const { return method_; }
+  std::string uri(const std::source_location& loc =
+                      std::source_location::current()) const {
+    return uri_.str(loc);
+  }
+  void set_method(Method m) { method_ = m; }
+  void set_uri(cow_string uri) { uri_ = std::move(uri); }
+
+ private:
+  Method method_ = Method::Unknown;
+  cow_string uri_;
+};
+
+class SipResponse final : public SipMessage {
+ public:
+  SipResponse() = default;
+  explicit SipResponse(int status);
+  SipResponse(int status, std::string_view reason);
+  ~SipResponse() override { vptr_write(); }
+
+  bool is_request() const override;
+  std::string start_line() const override;
+
+  int status() const { return status_; }
+  std::string reason(const std::source_location& loc =
+                         std::source_location::current()) const {
+    return reason_.str(loc);
+  }
+
+ private:
+  int status_ = 0;
+  cow_string reason_;
+};
+
+}  // namespace rg::sip

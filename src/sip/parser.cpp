@@ -1,0 +1,234 @@
+#include "sip/parser.hpp"
+
+#include <charconv>
+
+#include "support/strings.hpp"
+
+namespace rg::sip {
+
+namespace {
+
+using support::split_once;
+using support::starts_with;
+using support::trim;
+
+/// Pops one line (up to CRLF or LF) off `rest`.
+std::string_view next_line(std::string_view& rest) {
+  const std::size_t nl = rest.find('\n');
+  std::string_view line;
+  if (nl == std::string_view::npos) {
+    line = rest;
+    rest = {};
+  } else {
+    line = rest.substr(0, nl);
+    rest = rest.substr(nl + 1);
+  }
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  return line;
+}
+
+bool parse_status_line(std::string_view line, int& status,
+                       std::string& reason) {
+  // SIP/2.0 SP status SP reason
+  if (!starts_with(line, "SIP/2.0 ")) return false;
+  line.remove_prefix(8);
+  const auto [code, rest] = split_once(line, ' ');
+  std::uint32_t value = 0;
+  if (!support::parse_u32(trim(code), value) || value < 100 || value > 699)
+    return false;
+  status = static_cast<int>(value);
+  reason = std::string(trim(rest));
+  return true;
+}
+
+bool parse_request_line(std::string_view line, Method& method,
+                        std::string& uri) {
+  const auto [method_text, rest] = split_once(line, ' ');
+  const auto [uri_text, version] = split_once(rest, ' ');
+  if (trim(version) != "SIP/2.0") return false;
+  method = parse_method(method_text);
+  uri = std::string(trim(uri_text));
+  return !uri.empty();
+}
+
+}  // namespace
+
+ParseResult parse_message(std::string_view wire) {
+  ParseResult result;
+  std::string_view rest = wire;
+  const std::string_view start = next_line(rest);
+  if (trim(start).empty()) {
+    result.error = "empty start line";
+    return result;
+  }
+
+  std::unique_ptr<SipMessage> msg;
+  if (starts_with(start, "SIP/2.0")) {
+    int status = 0;
+    std::string reason;
+    if (!parse_status_line(start, status, reason)) {
+      result.error = "malformed status line: " + std::string(start);
+      return result;
+    }
+    msg = std::make_unique<SipResponse>(status, reason);
+  } else {
+    Method method = Method::Unknown;
+    std::string uri;
+    if (!parse_request_line(start, method, uri)) {
+      result.error = "malformed request line: " + std::string(start);
+      return result;
+    }
+    auto req = std::make_unique<SipRequest>(method, uri);
+    msg = std::move(req);
+  }
+
+  // Headers until the blank line; honour RFC 2822 folding (continuation
+  // lines start with whitespace).
+  std::string pending_name;
+  std::string pending_value;
+  auto flush = [&] {
+    if (!pending_name.empty())
+      msg->add_header(pending_name, cow_string(pending_value));
+    pending_name.clear();
+    pending_value.clear();
+  };
+  std::size_t content_length = 0;
+  bool have_length = false;
+  for (;;) {
+    if (rest.empty()) break;
+    const std::string_view line = next_line(rest);
+    if (line.empty()) break;  // end of headers
+    if (line.front() == ' ' || line.front() == '\t') {
+      if (pending_name.empty()) {
+        result.error = "continuation line before any header";
+        return result;
+      }
+      pending_value += ' ';
+      pending_value += trim(line);
+      continue;
+    }
+    flush();
+    const auto [name, value] = split_once(line, ':');
+    if (value.data() == nullptr) {
+      result.error = "header line without colon: " + std::string(line);
+      return result;
+    }
+    pending_name = std::string(trim(name));
+    pending_value = std::string(trim(value));
+    if (pending_name.empty()) {
+      result.error = "empty header name";
+      return result;
+    }
+    if (support::iequals(pending_name, "content-length")) {
+      std::uint32_t v = 0;
+      if (!support::parse_u32(pending_value, v)) {
+        result.error = "bad Content-Length: " + pending_value;
+        return result;
+      }
+      content_length = v;
+      have_length = true;
+      pending_name.clear();  // framing header is regenerated on serialize
+      pending_value.clear();
+    }
+  }
+  flush();
+
+  // Mandatory header sanity for requests (RFC 3261 8.1.1).
+  if (msg->is_request()) {
+    for (const char* required : {"via", "from", "to", "call-id", "cseq"}) {
+      if (!msg->has_header(required)) {
+        result.error = std::string("missing mandatory header: ") + required;
+        return result;
+      }
+    }
+  }
+
+  if (have_length) {
+    if (rest.size() < content_length) {
+      result.error = "truncated body";
+      return result;
+    }
+    if (content_length > 0)
+      msg->set_body(cow_string(rest.substr(0, content_length)));
+  } else if (!trim(rest).empty()) {
+    msg->set_body(cow_string(rest));
+  }
+
+  result.message = std::move(msg);
+  return result;
+}
+
+SipUri parse_uri(std::string_view text) {
+  SipUri uri;
+  text = trim(text);
+  if (starts_with(text, "sip:")) {
+    uri.scheme = "sip";
+    text.remove_prefix(4);
+  } else if (starts_with(text, "sips:")) {
+    uri.scheme = "sips";
+    text.remove_prefix(5);
+  } else {
+    return uri;
+  }
+  const auto [addr, params] = split_once(text, ';');
+  uri.params = std::string(params);
+  const auto [userinfo, hostport] = [&]() {
+    const std::size_t at = addr.find('@');
+    if (at == std::string_view::npos)
+      return std::make_pair(std::string_view{}, addr);
+    return std::make_pair(addr.substr(0, at), addr.substr(at + 1));
+  }();
+  uri.user = std::string(split_once(userinfo, ':').first);  // drop password
+  const auto [host, port] = split_once(hostport, ':');
+  uri.host = std::string(host);
+  if (uri.host.empty()) return uri;
+  if (!port.empty()) {
+    std::uint32_t p = 0;
+    if (!support::parse_u32(port, p) || p == 0 || p > 65535) return uri;
+    uri.port = static_cast<std::uint16_t>(p);
+  }
+  uri.valid = true;
+  return uri;
+}
+
+SipUri parse_name_addr(std::string_view value) {
+  const std::size_t lt = value.find('<');
+  if (lt != std::string_view::npos) {
+    const std::size_t gt = value.find('>', lt);
+    if (gt == std::string_view::npos) return SipUri{};
+    return parse_uri(value.substr(lt + 1, gt - lt - 1));
+  }
+  // addr-spec form: strip header params.
+  return parse_uri(split_once(value, ';').first);
+}
+
+std::string header_tag(std::string_view value) {
+  // Parameters of the name-addr, after the closing '>' if present.
+  const std::size_t gt = value.find('>');
+  std::string_view params =
+      gt == std::string_view::npos ? value : value.substr(gt + 1);
+  for (std::string_view piece : support::split(params, ';')) {
+    const auto [key, val] = split_once(trim(piece), '=');
+    if (support::iequals(trim(key), "tag")) return std::string(trim(val));
+  }
+  return {};
+}
+
+CSeq parse_cseq(std::string_view text) {
+  CSeq out;
+  const auto [num, method] = split_once(trim(text), ' ');
+  if (!support::parse_u32(trim(num), out.seq)) return out;
+  out.method = parse_method(trim(method));
+  out.valid = out.method != Method::Unknown;
+  return out;
+}
+
+std::string via_branch(std::string_view via_value) {
+  for (std::string_view piece : support::split(via_value, ';')) {
+    const auto [key, val] = split_once(trim(piece), '=');
+    if (support::iequals(trim(key), "branch")) return std::string(trim(val));
+  }
+  return {};
+}
+
+}  // namespace rg::sip

@@ -1,0 +1,63 @@
+// SIP wire-format parser (RFC 3261 subset).
+//
+// Parses requests and responses: start line, headers with folding,
+// Content-Length framing, plus the URI and CSeq micro-grammars the proxy
+// needs for routing and transaction matching. The parser itself runs inside
+// worker threads of the program under test; the *objects* it produces are
+// instrumented, the parsing scratch state is thread-local by construction.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sip/message.hpp"
+
+namespace rg::sip {
+
+struct ParseResult {
+  std::unique_ptr<SipMessage> message;  // null on error
+  std::string error;
+
+  bool ok() const { return message != nullptr; }
+};
+
+/// Parses one complete SIP message from wire text (CRLF or LF line ends).
+ParseResult parse_message(std::string_view wire);
+
+/// "sip:user@host:port;params" — enough of the grammar for registration
+/// and routing.
+struct SipUri {
+  bool valid = false;
+  std::string scheme;  // sip / sips
+  std::string user;
+  std::string host;
+  std::uint16_t port = 5060;
+  std::string params;  // everything after the first ';'
+
+  /// user@host (the address-of-record key the registrar uses).
+  std::string aor() const { return user + "@" + host; }
+};
+
+SipUri parse_uri(std::string_view text);
+
+/// Extracts the URI from a header value like `"Bob" <sip:bob@b.com>;tag=x`.
+SipUri parse_name_addr(std::string_view value);
+
+/// The `tag=` parameter of a From/To header value (empty if absent).
+std::string header_tag(std::string_view value);
+
+/// "314159 INVITE"
+struct CSeq {
+  bool valid = false;
+  std::uint32_t seq = 0;
+  Method method = Method::Unknown;
+};
+
+CSeq parse_cseq(std::string_view text);
+
+/// The `branch=` parameter of a Via value — the RFC 3261 transaction key.
+std::string via_branch(std::string_view via_value);
+
+}  // namespace rg::sip

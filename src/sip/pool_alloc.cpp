@@ -1,0 +1,43 @@
+#include "sip/pool_alloc.hpp"
+
+namespace rg::sip {
+
+ObjectPool::ObjectPool(bool force_new)
+    : force_new_(force_new), mu_("pool-mutex") {}
+
+ObjectPool::~ObjectPool() {
+  for (auto& [size, list] : free_lists_)
+    for (void* p : list) ::operator delete(p);
+}
+
+void* ObjectPool::acquire(std::size_t size, const std::source_location& loc) {
+  if (!force_new_) {
+    rt::lock_guard guard(mu_, loc);
+    auto& list = free_lists_[size];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      ++recycled_;
+      // Deliberately NO alloc event: the detector keeps the previous
+      // logical lifetime's shadow state (the §4 libstdc++ issue).
+      return p;
+    }
+  }
+  void* p = ::operator new(size);
+  rt::mem_alloc(p, static_cast<std::uint32_t>(size), loc);
+  return p;
+}
+
+void ObjectPool::release(void* p, std::size_t size,
+                         const std::source_location& loc) {
+  if (force_new_) {
+    rt::mem_free(p, loc);
+    ::operator delete(p);
+    return;
+  }
+  rt::lock_guard guard(mu_, loc);
+  // Deliberately NO free event.
+  free_lists_[size].push_back(p);
+}
+
+}  // namespace rg::sip

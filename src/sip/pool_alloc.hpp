@@ -1,0 +1,48 @@
+// ObjectPool — a size-bucketed recycling allocator.
+//
+// Models the GNU Standard C++ Library allocation strategy the paper calls
+// out in §4: "memory is reused internally and accesses to the reused memory
+// regions are reported as data races, even though the accesses are
+// separated by freeing and allocating, as Helgrind does not know anything
+// about them." When recycling is on, acquire/release of a pooled block
+// emits *no* alloc/free events, so the detector's shadow state survives
+// across logical lifetimes. `force_new` is the GLIBCXX_FORCE_NEW analogue:
+// every acquisition really allocates (with events) and every release really
+// frees.
+#pragma once
+
+#include <cstddef>
+#include <source_location>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/memory.hpp"
+#include "rt/sync.hpp"
+
+namespace rg::sip {
+
+class ObjectPool {
+ public:
+  /// `force_new == true` disables recycling (the environment-variable fix
+  /// the paper applies "prior to calling Helgrind").
+  explicit ObjectPool(bool force_new);
+  ~ObjectPool();
+
+  void* acquire(std::size_t size,
+                const std::source_location& loc =
+                    std::source_location::current());
+  void release(void* p, std::size_t size,
+               const std::source_location& loc =
+                   std::source_location::current());
+
+  bool force_new() const { return force_new_; }
+  std::size_t recycled_count() const { return recycled_; }
+
+ private:
+  bool force_new_;
+  rt::mutex mu_;
+  std::unordered_map<std::size_t, std::vector<void*>> free_lists_;
+  std::size_t recycled_ = 0;
+};
+
+}  // namespace rg::sip

@@ -1,0 +1,152 @@
+// The SIP proxy core — the program under test.
+//
+// A registrar + stateful forwarding proxy in the shape of the paper's
+// 500 kLOC VoIP signalling server: polymorphic request handlers, a
+// transaction layer, a registrar, per-domain configuration, statistics, an
+// expiry reaper thread, and the application-level deadlock watchdog. The
+// seeded FaultConfig reproduces every defect class of §4.1 and every
+// false-positive source of §4.2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "rt/memory.hpp"
+#include "rt/sync.hpp"
+#include "rt/thread.hpp"
+#include "sip/audit.hpp"
+#include "sip/deadlock_monitor.hpp"
+#include "sip/dialog.hpp"
+#include "sip/domain_data.hpp"
+#include "sip/faults.hpp"
+#include "sip/message.hpp"
+#include "sip/pool_alloc.hpp"
+#include "sip/registrar.hpp"
+#include "sip/stats.hpp"
+#include "sip/transaction.hpp"
+
+namespace rg::sip {
+
+class Proxy;
+
+/// Polymorphic per-method handler (shared across all worker threads).
+class RequestHandler : public SipObject {
+ public:
+  ~RequestHandler() override { vptr_write(); }
+  /// Returns the response, or nullptr when the request is absorbed (ACK,
+  /// retransmission).
+  virtual std::unique_ptr<SipResponse> handle(
+      Proxy& proxy, const SipRequest& request,
+      const std::source_location& loc = std::source_location::current()) = 0;
+  virtual const char* name() const = 0;
+};
+
+struct ProxyConfig {
+  FaultConfig faults;
+  std::string domain = "example.com";
+  /// Additional domains the proxy serves.
+  std::vector<std::string> extra_domains = {"voip.example.net",
+                                            "pbx.example.org"};
+  std::uint64_t binding_ttl = 100000;
+  std::uint64_t reaper_interval = 200;
+  /// Reap terminated transactions every N handled requests.
+  std::uint32_t reap_every = 16;
+};
+
+class Proxy {
+ public:
+  explicit Proxy(const ProxyConfig& config);
+  ~Proxy();
+
+  Proxy(const Proxy&) = delete;
+  Proxy& operator=(const Proxy&) = delete;
+
+  /// Brings up domain data, handlers, the reaper and (fault permitting)
+  /// the deadlock watchdog. Must run inside a Sim to exhibit the seeded
+  /// init-order race.
+  void start(const std::source_location& loc =
+                 std::source_location::current());
+
+  /// Tears everything down; with the shutdown-order fault this destroys
+  /// domain data before the reaper thread has stopped.
+  void shutdown(const std::source_location& loc =
+                    std::source_location::current());
+
+  /// Full request path from wire text: parse -> transaction -> handler ->
+  /// serialize. Returns "" for absorbed requests, a 400 for parse errors.
+  std::string handle_wire(std::string_view wire,
+                          const std::source_location& loc =
+                              std::source_location::current());
+
+  /// Typed request path (used by handle_wire and tests). The proxy may
+  /// retain the request in its transaction (RFC 3261 §17.2), hence shared
+  /// ownership. Returns the (possibly replayed) response, or null when the
+  /// request is absorbed.
+  std::shared_ptr<const SipResponse> handle(
+      std::shared_ptr<const SipRequest> request,
+      const std::source_location& loc = std::source_location::current());
+
+  Registrar& registrar() { return registrar_; }
+  ServerModulesManagerImpl& modules() { return modules_; }
+  TransactionTable& transactions() { return transactions_; }
+  DialogTable& dialogs() { return dialogs_; }
+  ProxyStats& stats() { return stats_; }
+  DeadlockMonitor& monitor() { return monitor_; }
+  ObjectPool& pool() { return pool_; }
+  const ProxyConfig& config() const { return config_; }
+
+  /// Current virtual time (0 outside a Sim).
+  std::uint64_t now() const;
+
+ private:
+  friend class RegisterHandler;
+  friend class InviteHandler;
+  friend class AckHandler;
+  friend class ByeHandler;
+  friend class CancelHandler;
+  friend class OptionsHandler;
+  friend class InfoHandler;
+  friend class DefaultHandler;
+
+  RequestHandler* handler_for(Method m) const;
+  void reaper_loop();
+  std::unique_ptr<SipResponse> make_response(
+      int status, const SipRequest& request,
+      const std::source_location& loc = std::source_location::current());
+
+  ProxyConfig config_;
+  ObjectPool pool_;
+  Registrar registrar_;
+  ServerModulesManagerImpl modules_;
+  TransactionTable transactions_;
+  DialogTable dialogs_;
+  ProxyStats stats_;
+  DeadlockMonitor monitor_;
+  AuditLog request_log_;
+  AuditLog transaction_log_;
+
+  /// Method -> handler; fixed after start(), read concurrently.
+  std::array<RequestHandler*, 8> handlers_{};
+
+  // Reaper thread control. Guarded by stop_mu_ (correct by design — the
+  // seeded races live elsewhere).
+  rt::thread reaper_;
+  mutable rt::mutex stop_mu_;
+  rt::tracked<std::uint8_t> stop_flag_;
+  /// Read by the reaper; with the init-order fault this is written *after*
+  /// the reaper already started (§4.1.1).
+  rt::tracked<std::uint64_t> reaper_interval_;
+
+  rt::tracked<std::uint32_t> handled_count_;
+  /// Shared header constants, copied into every response by concurrent
+  /// workers (COW reps with bus-locked reference counters — Figs. 8/9).
+  cow_string server_header_;
+  cow_string allow_header_;
+  bool started_ = false;
+};
+
+}  // namespace rg::sip

@@ -1,0 +1,91 @@
+#include "sip/registrar.hpp"
+
+#include "annotate/runtime.hpp"
+
+namespace rg::sip {
+
+Binding::Binding(std::string_view contact, std::uint64_t expires_at)
+    : contact_(contact), expires_at_(expires_at) {}
+
+Binding::~Binding() { vptr_write(); }
+
+cow_string Binding::contact(const std::source_location& /*loc*/) const {
+  virtual_dispatch();
+  return cow_string(contact_);
+}
+
+std::uint64_t Binding::expires_at(const std::source_location& /*loc*/) const {
+  return expires_at_.load();
+}
+
+void Binding::refresh(std::uint64_t expires_at,
+                      const std::source_location& /*loc*/) {
+  expires_at_.store(expires_at);
+}
+
+Registrar::Registrar() : mu_("registrar-mutex") {}
+
+Registrar::~Registrar() {
+  for (auto& [aor, b] : bindings_) delete b;
+  bindings_.clear();
+}
+
+std::vector<cow_string> Registrar::register_binding(
+    const std::string& aor, std::string_view contact,
+    std::uint64_t expires_at, const std::source_location& /*loc*/) {
+  RG_FRAME();
+  rt::lock_guard guard(mu_);
+  marker_.write();
+  auto it = bindings_.find(aor);
+  if (it != bindings_.end()) {
+    it->second->refresh(expires_at);
+  } else {
+    it = bindings_.emplace(aor, new Binding(contact, expires_at)).first;
+  }
+  std::vector<cow_string> contacts;
+  contacts.push_back(it->second->contact());
+  return contacts;
+}
+
+cow_string Registrar::lookup(const std::string& aor,
+                             const std::source_location& /*loc*/) {
+  RG_FRAME();
+  rt::lock_guard guard(mu_);
+  marker_.read();
+  auto it = bindings_.find(aor);
+  if (it == bindings_.end()) return cow_string{};
+  return it->second->contact();
+}
+
+std::size_t Registrar::expire(std::uint64_t now,
+                              const std::source_location& /*loc*/) {
+  RG_FRAME();
+  rt::lock_guard guard(mu_);
+  marker_.write();
+  std::size_t removed = 0;
+  for (auto it = bindings_.begin(); it != bindings_.end();) {
+    if (it->second->expires_at() <= now) {
+      delete annotate::ca_deletor_single(it->second);
+      it = bindings_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void Registrar::clear(const std::source_location& /*loc*/) {
+  rt::lock_guard guard(mu_);
+  marker_.write();
+  for (auto& [aor, b] : bindings_) delete annotate::ca_deletor_single(b);
+  bindings_.clear();
+}
+
+std::size_t Registrar::size() const {
+  rt::lock_guard guard(mu_);
+  marker_.read();
+  return bindings_.size();
+}
+
+}  // namespace rg::sip

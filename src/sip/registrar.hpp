@@ -1,0 +1,76 @@
+// Registrar / location service.
+//
+// Stores REGISTER bindings (address-of-record -> contact) behind a mutex.
+// Binding records are polymorphic instrumented objects shared between the
+// registering thread, routing threads and the expiry reaper; their contact
+// strings are cow_strings whose reps get copied concurrently — the natural
+// in-proxy occurrence of the Figs. 8/9 reference-counter pattern.
+#pragma once
+
+#include <map>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "rt/memory.hpp"
+#include "rt/sync.hpp"
+#include "sip/cow_string.hpp"
+#include "sip/message.hpp"
+
+namespace rg::sip {
+
+/// One contact binding.
+class Binding : public SipObject {
+ public:
+  Binding(std::string_view contact, std::uint64_t expires_at);
+  ~Binding() override;
+
+  /// Contact URI (shared cow rep: copied into responses by many threads).
+  cow_string contact(const std::source_location& loc =
+                         std::source_location::current()) const;
+  std::uint64_t expires_at(const std::source_location& loc =
+                               std::source_location::current()) const;
+  void refresh(std::uint64_t expires_at,
+               const std::source_location& loc =
+                   std::source_location::current());
+
+ private:
+  cow_string contact_;
+  rt::tracked<std::uint64_t> expires_at_;
+};
+
+class Registrar {
+ public:
+  Registrar();
+  ~Registrar();
+
+  /// Adds or refreshes a binding; returns the contact list for the 200 OK.
+  std::vector<cow_string> register_binding(
+      const std::string& aor, std::string_view contact,
+      std::uint64_t expires_at,
+      const std::source_location& loc = std::source_location::current());
+
+  /// Looks up the current contact for an AOR (empty when unknown).
+  cow_string lookup(const std::string& aor,
+                    const std::source_location& loc =
+                        std::source_location::current());
+
+  /// Removes bindings expired at `now`; returns how many were deleted.
+  /// Deletion is annotated (this module ships with source, cf. Fig. 4).
+  std::size_t expire(std::uint64_t now,
+                     const std::source_location& loc =
+                         std::source_location::current());
+
+  /// Deletes every binding (shutdown).
+  void clear(const std::source_location& loc =
+                 std::source_location::current());
+
+  std::size_t size() const;
+
+ private:
+  mutable rt::mutex mu_;
+  std::map<std::string, Binding*> bindings_;
+  mutable rt::access_marker marker_;
+};
+
+}  // namespace rg::sip

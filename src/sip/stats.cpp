@@ -1,0 +1,47 @@
+#include "sip/stats.hpp"
+
+namespace rg::sip {
+
+ProxyStats::ProxyStats(bool unprotected)
+    : unprotected_(unprotected), mu_("stats-mutex") {}
+
+void ProxyStats::count_request(const std::source_location& /*loc*/) {
+  guarded([&] { requests_.store(requests_.load() + 1); });
+}
+
+void ProxyStats::count_response(int status, const std::source_location& /*loc*/) {
+  guarded([&] {
+    if (status >= 200 && status < 300)
+      responses_2xx_.store(responses_2xx_.load() + 1);
+    else if (status >= 400 && status < 500)
+      responses_4xx_.store(responses_4xx_.load() + 1);
+  });
+}
+
+void ProxyStats::count_forward(const std::source_location& /*loc*/) {
+  guarded([&] { forwards_.store(forwards_.load() + 1); });
+}
+
+void ProxyStats::count_parse_error(const std::source_location& /*loc*/) {
+  guarded([&] { parse_errors_.store(parse_errors_.load() + 1); });
+}
+
+std::uint64_t ProxyStats::requests(const std::source_location& /*loc*/) const {
+  return requests_.load();
+}
+std::uint64_t ProxyStats::responses_2xx(
+    const std::source_location& /*loc*/) const {
+  return responses_2xx_.load();
+}
+std::uint64_t ProxyStats::responses_4xx(
+    const std::source_location& /*loc*/) const {
+  return responses_4xx_.load();
+}
+std::uint64_t ProxyStats::forwards(const std::source_location& /*loc*/) const {
+  return forwards_.load();
+}
+std::uint64_t ProxyStats::parse_errors(const std::source_location& /*loc*/) const {
+  return parse_errors_.load();
+}
+
+}  // namespace rg::sip

@@ -1,0 +1,62 @@
+// Proxy statistics counters.
+//
+// With `benign_stats_races` the counters are bumped without any lock — the
+// classic "benign race" triage load the paper mentions ("not always easy to
+// decide whether a reported warning is a true defect, a false warning or
+// just a benign race"). With the fault off, a mutex guards them.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+
+#include "rt/memory.hpp"
+#include "rt/sync.hpp"
+
+namespace rg::sip {
+
+class ProxyStats {
+ public:
+  explicit ProxyStats(bool unprotected);
+
+  void count_request(const std::source_location& loc =
+                         std::source_location::current());
+  void count_response(int status,
+                      const std::source_location& loc =
+                          std::source_location::current());
+  void count_forward(const std::source_location& loc =
+                         std::source_location::current());
+  void count_parse_error(const std::source_location& loc =
+                             std::source_location::current());
+
+  std::uint64_t requests(const std::source_location& loc =
+                             std::source_location::current()) const;
+  std::uint64_t responses_2xx(const std::source_location& loc =
+                                  std::source_location::current()) const;
+  std::uint64_t responses_4xx(const std::source_location& loc =
+                                  std::source_location::current()) const;
+  std::uint64_t forwards(const std::source_location& loc =
+                             std::source_location::current()) const;
+  std::uint64_t parse_errors(const std::source_location& loc =
+                                 std::source_location::current()) const;
+
+ private:
+  template <typename Fn>
+  void guarded(Fn&& fn) {
+    if (unprotected_) {
+      fn();
+    } else {
+      rt::lock_guard guard(mu_);
+      fn();
+    }
+  }
+
+  bool unprotected_;
+  mutable rt::mutex mu_;
+  rt::tracked<std::uint64_t> requests_;
+  rt::tracked<std::uint64_t> responses_2xx_;
+  rt::tracked<std::uint64_t> responses_4xx_;
+  rt::tracked<std::uint64_t> forwards_;
+  rt::tracked<std::uint64_t> parse_errors_;
+};
+
+}  // namespace rg::sip

@@ -1,0 +1,44 @@
+#include "sip/time_utils.hpp"
+
+#include <cstdio>
+
+#include "rt/memory.hpp"
+
+namespace rg::sip {
+
+std::string format_ticks(std::uint64_t ticks) {
+  // Fictitious wall clock: ticks since epoch, rendered hh:mm:ss.mmm.
+  const std::uint64_t ms = ticks % 1000;
+  const std::uint64_t s = ticks / 1000 % 60;
+  const std::uint64_t m = ticks / 60000 % 60;
+  const std::uint64_t h = ticks / 3600000 % 24;
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%02llu:%02llu:%02llu.%03llu",
+                static_cast<unsigned long long>(h),
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(s),
+                static_cast<unsigned long long>(ms));
+  return buf;
+}
+
+namespace {
+struct StaticTimeBuffer {
+  rt::access_marker marker;
+  std::string text;
+};
+StaticTimeBuffer g_ctime_buffer;
+}  // namespace
+
+const char* unsafe_ctime(std::uint64_t ticks,
+                         const std::source_location& loc) {
+  // Static-data write visible to the detector: concurrent callers race.
+  g_ctime_buffer.marker.write(loc);
+  g_ctime_buffer.text = format_ticks(ticks);
+  return g_ctime_buffer.text.c_str();
+}
+
+void safe_ctime(std::uint64_t ticks, std::string& out) {
+  out = format_ticks(ticks);
+}
+
+}  // namespace rg::sip

@@ -1,0 +1,28 @@
+// Time formatting helpers — the §4.1.3 defect class.
+//
+// "The four functions asctime(), ctime(), gmtime() and localtime() return a
+// pointer to static data and hence are NOT thread-safe." unsafe_ctime
+// reproduces that shape: it formats into a static buffer and returns a
+// pointer to it; concurrent callers race on the buffer. safe_ctime is the
+// reentrant _r-style fix.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <string>
+
+namespace rg::sip {
+
+/// Formats `ticks` into a static buffer and returns it — NOT thread-safe,
+/// like glibc ctime(). Every call writes the shared buffer.
+const char* unsafe_ctime(std::uint64_t ticks,
+                         const std::source_location& loc =
+                             std::source_location::current());
+
+/// Reentrant variant writing into caller storage (ctime_r).
+void safe_ctime(std::uint64_t ticks, std::string& out);
+
+/// Formats without touching shared state (pure function, for tests).
+std::string format_ticks(std::uint64_t ticks);
+
+}  // namespace rg::sip

@@ -1,0 +1,167 @@
+// SIP transaction layer (RFC 3261 §17 subset).
+//
+// Server transactions absorb retransmissions and order responses. They are
+// the proxy's central *shared, polymorphic, heap-allocated* objects: created
+// by the worker handling the first request, matched by workers handling
+// retransmissions/ACKs/CANCELs under the table mutex, and deleted on
+// termination — the workload class whose destruction the paper's DR
+// annotation de-falsifies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <source_location>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/memory.hpp"
+#include "rt/sync.hpp"
+#include "sip/message.hpp"
+
+namespace rg::sip {
+
+enum class TxState : std::uint8_t {
+  Trying,
+  Proceeding,
+  Completed,
+  Confirmed,
+  Terminated,
+};
+
+const char* to_string(TxState s);
+
+/// Retransmission-timer bookkeeping for one transaction (timers A/B/G/H of
+/// RFC 3261 §17, collapsed to one object in this testbed). Heap subobject,
+/// virtually dispatched on every transaction event, destroyed with its
+/// owner.
+class TimerState final : public SipObject {
+ public:
+  TimerState();
+  ~TimerState() override;
+
+  virtual void arm(std::uint64_t generation,
+                   const std::source_location& loc =
+                       std::source_location::current());
+  std::uint64_t generation() const;
+
+ private:
+  rt::tracked<std::uint64_t> generation_;
+};
+
+/// Base server transaction. State transitions are guarded by a per-object
+/// mutex; virtual dispatch happens at the call sites (vptr reads outside
+/// any lock — which is what shares the object header between threads).
+class ServerTransaction : public SipObject {
+ public:
+  ServerTransaction(std::string branch, Method method);
+  ~ServerTransaction() override;
+
+  const std::string& branch() const { return branch_; }
+  Method method() const { return method_; }
+
+  TxState state(const std::source_location& loc =
+                    std::source_location::current()) const;
+
+  /// A request matching this transaction arrived (retransmission, ACK,
+  /// CANCEL). Returns true when the request is absorbed (retransmission).
+  virtual bool on_request(Method method,
+                          const std::source_location& loc =
+                              std::source_location::current()) = 0;
+
+  /// The proxy core produced a response with this status.
+  virtual void on_response(int status,
+                           const std::source_location& loc =
+                               std::source_location::current()) = 0;
+
+  bool terminated(const std::source_location& loc =
+                      std::source_location::current()) const {
+    return state(loc) == TxState::Terminated;
+  }
+
+  /// RFC 3261 §17.2: the server transaction retains the request that
+  /// created it and the last response sent, so retransmissions can be
+  /// answered by replay. Both are therefore *shared* polymorphic objects.
+  void retain_request(std::shared_ptr<const SipRequest> request);
+  void retain_response(std::shared_ptr<const SipResponse> response);
+  std::shared_ptr<const SipRequest> original_request() const;
+  /// The retained response (null until one was sent).
+  std::shared_ptr<const SipResponse> last_response() const;
+
+ protected:
+  void set_state(TxState next, const std::source_location& loc =
+                                   std::source_location::current());
+
+  std::string branch_;
+  Method method_;
+  mutable rt::mutex mu_;
+  rt::tracked<TxState> state_;
+  rt::tracked<std::uint32_t> retransmissions_;
+  TimerState* timers_;
+  std::shared_ptr<const SipRequest> original_;
+  std::shared_ptr<const SipResponse> last_response_;
+};
+
+/// RFC 3261 §17.2.1 (INVITE): Proceeding -> Completed (final response) ->
+/// Confirmed (ACK) -> Terminated.
+class InviteServerTransaction final : public ServerTransaction {
+ public:
+  explicit InviteServerTransaction(std::string branch);
+  ~InviteServerTransaction() override;
+
+  bool on_request(Method method, const std::source_location& loc =
+                                     std::source_location::current()) override;
+  void on_response(int status, const std::source_location& loc =
+                                   std::source_location::current()) override;
+};
+
+/// RFC 3261 §17.2.2 (non-INVITE): Trying -> Proceeding -> Completed ->
+/// Terminated.
+class NonInviteServerTransaction final : public ServerTransaction {
+ public:
+  NonInviteServerTransaction(std::string branch, Method method);
+  ~NonInviteServerTransaction() override;
+
+  bool on_request(Method method, const std::source_location& loc =
+                                     std::source_location::current()) override;
+  void on_response(int status, const std::source_location& loc =
+                                   std::source_location::current()) override;
+};
+
+/// The transaction table: branch id -> live transaction, guarded by one
+/// mutex. Terminated transactions are reaped with annotated deletes; shared
+/// ownership keeps a reaped transaction alive while a concurrent worker
+/// still holds it (the last release performs the annotated delete).
+class TransactionTable {
+ public:
+  TransactionTable();
+  ~TransactionTable();
+
+  /// Finds the transaction for `branch`, or creates one of the right kind.
+  /// `created` reports whether this call created it.
+  std::shared_ptr<ServerTransaction> find_or_create(
+      const std::string& branch, Method method, bool& created,
+      const std::source_location& loc = std::source_location::current());
+
+  std::shared_ptr<ServerTransaction> find(
+      const std::string& branch,
+      const std::source_location& loc = std::source_location::current());
+
+  /// Unlinks terminated transactions (annotated destruction at last
+  /// release). Returns the number reaped.
+  std::size_t reap(const std::source_location& loc =
+                       std::source_location::current());
+
+  /// Drops everything (shutdown).
+  void clear(const std::source_location& loc =
+                 std::source_location::current());
+
+  std::size_t size() const;
+
+ private:
+  mutable rt::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<ServerTransaction>> table_;
+  mutable rt::access_marker marker_;
+};
+
+}  // namespace rg::sip

@@ -1,0 +1,99 @@
+#include "sipp/experiment.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_set>
+
+#include "core/deadlock.hpp"
+#include "sip/dispatch.hpp"
+#include "sip/proxy.hpp"
+#include "sipp/testcases.hpp"
+
+namespace rg::sipp {
+
+ExperimentResult run_scenario(const Scenario& scenario,
+                              const ExperimentConfig& config) {
+  core::HelgrindTool helgrind(config.detector);
+  if (!config.suppressions.empty())
+    helgrind.reports().load_suppressions(config.suppressions);
+  core::DeadlockTool deadlock;
+
+  rt::SimConfig sim_cfg;
+  sim_cfg.sched.seed = config.seed;
+  rt::Sim sim(sim_cfg);
+  sim.attach(helgrind);
+  if (config.deadlock_tool) sim.attach(deadlock);
+
+  ExperimentResult result;
+
+  result.sim = sim.run([&] {
+    sip::ProxyConfig proxy_cfg;
+    proxy_cfg.faults = config.faults;
+    sip::Proxy proxy(proxy_cfg);
+
+    std::unique_ptr<sip::Dispatcher> dispatcher;
+    if (config.mode == DispatchMode::ThreadPerRequest)
+      dispatcher =
+          std::make_unique<sip::ThreadPerRequestDispatcher>(config.parallelism);
+    else
+      dispatcher = std::make_unique<sip::ThreadPoolDispatcher>(config.parallelism);
+
+    proxy.start();
+    for (const auto& phase : scenario.phases) {
+      const auto responses = dispatcher->dispatch(proxy, phase);
+      result.responses += responses.size();
+    }
+    proxy.shutdown();
+  });
+
+  const core::ReportManager& reports = helgrind.reports();
+  result.reported_locations = 0;
+  for (const core::Report& r : reports.reports())
+    if (r.kind == core::Report::Kind::DataRace) ++result.reported_locations;
+  result.total_warnings = reports.total_warnings();
+  result.suppressed_warnings = reports.suppressed_warnings();
+  result.location_keys = reports.location_keys();
+  result.report_text = reports.render(sim.runtime());
+  result.generated_suppressions = reports.generate_suppressions();
+  result.lock_order_reports = deadlock.reports().distinct_locations();
+  result.lockset_distinct = helgrind.locksets().distinct_sets();
+  return result;
+}
+
+Fig6Row run_fig6_row(int n, const ExperimentConfig& base) {
+  const Scenario scenario = build_testcase(n, base.seed);
+
+  auto run_with = [&](const core::HelgrindConfig& detector) {
+    ExperimentConfig cfg = base;
+    cfg.detector = detector;
+    return run_scenario(scenario, cfg);
+  };
+
+  const ExperimentResult original =
+      run_with(core::HelgrindConfig::original());
+  const ExperimentResult hwlc = run_with(core::HelgrindConfig::hwlc());
+  const ExperimentResult hwlc_dr = run_with(core::HelgrindConfig::hwlc_dr());
+
+  Fig6Row row;
+  row.testcase = scenario.name;
+  row.original = original.reported_locations;
+  row.hwlc = hwlc.reported_locations;
+  row.hwlc_dr = hwlc_dr.reported_locations;
+
+  // Fig. 5 attribution by location-set difference: warnings that vanish
+  // when the bus-lock model is corrected are hardware-lock false
+  // positives; warnings that additionally vanish with annotations are
+  // destructor false positives.
+  const std::unordered_set<std::string> keys_hwlc(hwlc.location_keys.begin(),
+                                                  hwlc.location_keys.end());
+  const std::unordered_set<std::string> keys_dr(hwlc_dr.location_keys.begin(),
+                                                hwlc_dr.location_keys.end());
+  for (const std::string& key : original.location_keys)
+    if (!keys_hwlc.contains(key)) ++row.hw_lock_fps;
+  for (const std::string& key : hwlc.location_keys)
+    if (!keys_dr.contains(key)) ++row.destructor_fps;
+  row.remaining = row.hwlc_dr;
+  return row;
+}
+
+}  // namespace rg::sipp

@@ -1,0 +1,77 @@
+// Experiment harness — runs a scenario against the proxy under a detector
+// configuration and collects the quantities the paper reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/helgrind.hpp"
+#include "rt/sim.hpp"
+#include "sip/faults.hpp"
+#include "sipp/scenario.hpp"
+
+namespace rg::sipp {
+
+enum class DispatchMode : std::uint8_t {
+  ThreadPerRequest,  // the proxy as measured in the paper
+  ThreadPool,        // the planned pattern of §4.2.3
+};
+
+struct ExperimentConfig {
+  std::uint64_t seed = 1;
+  sip::FaultConfig faults = sip::FaultConfig::paper();
+  DispatchMode mode = DispatchMode::ThreadPerRequest;
+  /// Concurrent workers (threads per batch / pool size).
+  std::size_t parallelism = 8;
+  core::HelgrindConfig detector = core::HelgrindConfig::original();
+  /// Also run the lock-order deadlock tool.
+  bool deadlock_tool = false;
+  /// Optional Valgrind-style suppression file contents.
+  std::string suppressions;
+};
+
+struct ExperimentResult {
+  /// Distinct reported possible-data-race locations (the Fig. 6 number).
+  std::size_t reported_locations = 0;
+  std::uint64_t total_warnings = 0;
+  std::uint64_t suppressed_warnings = 0;
+  std::vector<std::string> location_keys;
+  /// Full Helgrind-style log.
+  std::string report_text;
+  /// --gen-suppressions output: one block per reported location.
+  std::string generated_suppressions;
+  /// Lock-order inversions (deadlock tool, when attached).
+  std::size_t lock_order_reports = 0;
+  rt::SimResult sim;
+  std::size_t responses = 0;
+  std::size_t lockset_distinct = 0;
+};
+
+/// Runs `scenario` once. Deterministic in (scenario, config).
+ExperimentResult run_scenario(const Scenario& scenario,
+                              const ExperimentConfig& config);
+
+/// One Fig. 6 row: the same test case under Original / HWLC / HWLC+DR.
+struct Fig6Row {
+  std::string testcase;
+  std::size_t original = 0;
+  std::size_t hwlc = 0;
+  std::size_t hwlc_dr = 0;
+  /// Fig. 5 stacking derived by location-set difference:
+  std::size_t hw_lock_fps = 0;     // removed by HWLC
+  std::size_t destructor_fps = 0;  // further removed by +DR
+  std::size_t remaining = 0;       // == hwlc_dr
+  /// Fraction of Original removed by the two improvements combined.
+  double reduction() const {
+    return original == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(hwlc_dr) /
+                           static_cast<double>(original);
+  }
+};
+
+/// Runs test case `n` under the three configurations of the paper.
+Fig6Row run_fig6_row(int n, const ExperimentConfig& base);
+
+}  // namespace rg::sipp

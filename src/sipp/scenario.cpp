@@ -1,0 +1,133 @@
+#include "sipp/scenario.hpp"
+
+namespace rg::sipp {
+
+MessageFactory::MessageFactory(std::string domain)
+    : domain_(std::move(domain)) {}
+
+std::string MessageFactory::request(
+    const std::string& method, const std::string& uri,
+    const std::string& from_user, const std::string& to_user,
+    const std::string& call_tag, std::uint32_t cseq,
+    const std::string& cseq_method,
+    const std::vector<std::string>& extra_headers,
+    const std::string& body) const {
+  std::string out = method + " " + uri + " SIP/2.0\r\n";
+  out += "Via: SIP/2.0/UDP client.invalid:5060;branch=z9hG4bK-" + call_tag +
+         "-" + cseq_method + "\r\n";
+  out += "Max-Forwards: 70\r\n";
+  out += "From: <sip:" + from_user + "@" + domain_ + ">;tag=from-" + call_tag +
+         "\r\n";
+  out += "To: <sip:" + to_user + "@" + domain_ + ">\r\n";
+  out += "Call-ID: " + call_tag + "@client.invalid\r\n";
+  out += "CSeq: " + std::to_string(cseq) + " " + cseq_method + "\r\n";
+  for (const std::string& h : extra_headers) out += h + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+std::string MessageFactory::register_request(const std::string& user,
+                                             const std::string& call_tag,
+                                             std::uint32_t cseq,
+                                             std::uint32_t expires) const {
+  return request("REGISTER", "sip:" + domain_, user, user, call_tag, cseq,
+                 "REGISTER",
+                 {"Contact: <sip:" + user + "@host-" + user + ".invalid:5060>",
+                  "Expires: " + std::to_string(expires)},
+                 {});
+}
+
+std::string MessageFactory::invite(const std::string& caller,
+                                   const std::string& callee,
+                                   const std::string& call_tag,
+                                   std::uint32_t cseq,
+                                   const std::string& target_domain) const {
+  const std::string dom = target_domain.empty() ? domain_ : target_domain;
+  return request("INVITE", "sip:" + callee + "@" + dom, caller, callee,
+                 call_tag, cseq, "INVITE",
+                 {"Contact: <sip:" + caller + "@client.invalid:5060>",
+                  "Content-Type: application/sdp"},
+                 "v=0\r\no=" + caller + " 0 0 IN IP4 client.invalid\r\ns=-\r\n");
+}
+
+std::string MessageFactory::ack(const std::string& caller,
+                                const std::string& callee,
+                                const std::string& call_tag,
+                                std::uint32_t cseq) const {
+  // Same branch as the INVITE: the ACK matches its transaction.
+  std::string out = request("ACK", "sip:" + callee + "@" + domain_, caller,
+                            callee, call_tag, cseq, "ACK", {}, {});
+  // Rewrite the Via branch to the INVITE's.
+  const std::string wrong = "branch=z9hG4bK-" + call_tag + "-ACK";
+  const std::string right = "branch=z9hG4bK-" + call_tag + "-INVITE";
+  const std::size_t pos = out.find(wrong);
+  if (pos != std::string::npos) out.replace(pos, wrong.size(), right);
+  return out;
+}
+
+std::string MessageFactory::bye(const std::string& caller,
+                                const std::string& callee,
+                                const std::string& call_tag,
+                                std::uint32_t cseq) const {
+  return request("BYE", "sip:" + callee + "@" + domain_, caller, callee,
+                 call_tag, cseq, "BYE", {}, {});
+}
+
+std::string MessageFactory::cancel(const std::string& caller,
+                                   const std::string& callee,
+                                   const std::string& call_tag,
+                                   std::uint32_t cseq) const {
+  std::string out = request("CANCEL", "sip:" + callee + "@" + domain_, caller,
+                            callee, call_tag, cseq, "CANCEL", {}, {});
+  const std::string wrong = "branch=z9hG4bK-" + call_tag + "-CANCEL";
+  const std::string right = "branch=z9hG4bK-" + call_tag + "-INVITE";
+  const std::size_t pos = out.find(wrong);
+  if (pos != std::string::npos) out.replace(pos, wrong.size(), right);
+  return out;
+}
+
+std::string MessageFactory::options(const std::string& user,
+                                    const std::string& call_tag,
+                                    std::uint32_t cseq) const {
+  return request("OPTIONS", "sip:" + domain_, user, user, call_tag, cseq,
+                 "OPTIONS", {"Accept: application/sdp"}, {});
+}
+
+std::string MessageFactory::info(const std::string& caller,
+                                 const std::string& callee,
+                                 const std::string& call_tag,
+                                 std::uint32_t cseq,
+                                 const std::string& body) const {
+  std::vector<std::string> headers;
+  if (!body.empty()) headers.push_back("Content-Type: application/dtmf-relay");
+  return request("INFO", "sip:" + callee + "@" + domain_, caller, callee,
+                 call_tag, cseq, "INFO", headers, body);
+}
+
+std::string MessageFactory::unknown_method(const std::string& user,
+                                           const std::string& call_tag,
+                                           std::uint32_t cseq) const {
+  return request("SUBSCRIBE", "sip:" + domain_, user, user, call_tag, cseq,
+                 "SUBSCRIBE", {"Event: presence"}, {});
+}
+
+std::string MessageFactory::garbage(int variant) const {
+  switch (variant % 5) {
+    case 0:
+      return "GET / HTTP/1.1\r\nHost: example.com\r\n\r\n";
+    case 1:
+      return "INVITE sip:x@" + domain_ + " SIP/2.0\r\nVia broken line\r\n\r\n";
+    case 2:
+      // Missing mandatory headers.
+      return "INVITE sip:x@" + domain_ +
+             " SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9hG4bK-g\r\n\r\n";
+    case 3:
+      return "SIP/2.0 xyz Not A Status\r\n\r\n";
+    default:
+      return "\r\n";
+  }
+}
+
+}  // namespace rg::sipp

@@ -1,0 +1,271 @@
+#include "sipp/testcases.hpp"
+
+#include "support/assert.hpp"
+#include "support/prng.hpp"
+
+namespace rg::sipp {
+
+namespace {
+
+std::string user_name(std::uint64_t i) { return "user" + std::to_string(i); }
+
+std::string tag(std::string_view prefix, std::uint64_t i) {
+  return std::string(prefix) + "-" + std::to_string(i);
+}
+
+/// Registers `count` users in one concurrent phase.
+std::vector<std::string> register_phase(const MessageFactory& mf,
+                                        std::uint64_t first,
+                                        std::uint64_t count,
+                                        std::string_view tag_prefix) {
+  std::vector<std::string> phase;
+  for (std::uint64_t i = 0; i < count; ++i)
+    phase.push_back(
+        mf.register_request(user_name(first + i), tag(tag_prefix, i), 1));
+  return phase;
+}
+
+}  // namespace
+
+const char* testcase_description(int n) {
+  switch (n) {
+    case 1:
+      return "REGISTER storm with refreshes";
+    case 2:
+      return "basic INVITE/ACK/BYE dialogs";
+    case 3:
+      return "OPTIONS/INFO feature mix (third-party module)";
+    case 4:
+      return "INVITE retransmissions and CANCEL";
+    case 5:
+      return "heavy mixed traffic";
+    case 6:
+      return "error flows: 403/404/400/405";
+    case 7:
+      return "registration churn with expiry";
+    case 8:
+      return "concurrent dialogs to one callee";
+  }
+  return "?";
+}
+
+Scenario build_testcase(int n, std::uint64_t seed, std::uint32_t intensity) {
+  RG_ASSERT(n >= 1 && n <= kTestCaseCount);
+  support::Xoshiro256 rng(seed * 1000003 + static_cast<std::uint64_t>(n));
+  MessageFactory mf;
+  Scenario s;
+  s.name = "T" + std::to_string(n);
+  const std::uint32_t k = intensity == 0 ? 1 : intensity;
+
+  switch (n) {
+    case 1: {
+      // Registration storm: three rounds of concurrent REGISTERs, with
+      // refreshes (higher CSeq) in later rounds.
+      const std::uint64_t users = 10 * k;
+      s.phases.push_back(register_phase(mf, 0, users, "t1r1"));
+      std::vector<std::string> refresh;
+      for (std::uint64_t i = 0; i < users; ++i) {
+        refresh.push_back(
+            mf.register_request(user_name(i), tag("t1r2", i), 2));
+        // UDP retransmission of the refresh: matched concurrently against
+        // the retained transaction and answered by replay.
+        refresh.push_back(
+            mf.register_request(user_name(i), tag("t1r2", i), 2));
+      }
+      s.phases.push_back(std::move(refresh));
+      std::vector<std::string> mixed;
+      for (std::uint64_t i = 0; i < users; ++i) {
+        if (rng.chance(1, 3))
+          mixed.push_back(mf.register_request(user_name(i), tag("t1r3", i), 3,
+                                              rng.chance(1, 4) ? 0 : 3600));
+        else
+          mixed.push_back(mf.options(user_name(i), tag("t1o", i), 1));
+      }
+      s.phases.push_back(std::move(mixed));
+      break;
+    }
+
+    case 2: {
+      // Callees register, then callers run full INVITE/ACK/INFO/BYE
+      // dialogs. All messages of a call are delivered in the same phase,
+      // so concurrent workers share its transaction and dialog state.
+      const std::uint64_t calls = 6 * k;
+      s.phases.push_back(register_phase(mf, 100, calls, "t2reg"));
+      std::vector<std::string> dialogs;
+      for (std::uint64_t i = 0; i < calls; ++i) {
+        const std::string caller = user_name(200 + i);
+        const std::string callee = user_name(100 + i);
+        const std::string call = tag("t2c", i);
+        dialogs.push_back(mf.invite(caller, callee, call, 1));
+        dialogs.push_back(mf.ack(caller, callee, call, 1));
+        dialogs.push_back(mf.info(caller, callee, call, 2,
+                                  "Signal=" + std::to_string(i) + "\r\n"));
+        dialogs.push_back(mf.bye(caller, callee, call, 3));
+      }
+      s.phases.push_back(std::move(dialogs));
+      break;
+    }
+
+    case 3: {
+      // Feature interrogation: OPTIONS and INFO hammer the third-party
+      // handlers.
+      const std::uint64_t rounds = 8 * k;
+      s.phases.push_back(register_phase(mf, 300, 4, "t3reg"));
+      for (std::uint64_t r = 0; r < 2; ++r) {
+        std::vector<std::string> phase;
+        for (std::uint64_t i = 0; i < rounds; ++i) {
+          if (rng.chance(1, 2)) {
+            phase.push_back(
+                mf.options(user_name(300 + i % 4), tag("t3o", r * 100 + i), 1));
+            // Retransmitted OPTIONS (same branch) delivered concurrently.
+            phase.push_back(
+                mf.options(user_name(300 + i % 4), tag("t3o", r * 100 + i), 1));
+          } else
+            phase.push_back(mf.info(user_name(300 + i % 4),
+                                    user_name(300 + (i + 1) % 4),
+                                    tag("t3i", r * 100 + i), 1,
+                                    "Signal=5\r\nDuration=160\r\n"));
+        }
+        s.phases.push_back(std::move(phase));
+      }
+      break;
+    }
+
+    case 4: {
+      // Retransmitted INVITEs (UDP!) and CANCELled pending calls.
+      const std::uint64_t calls = 5 * k;
+      s.phases.push_back(register_phase(mf, 400, calls, "t4reg"));
+      std::vector<std::string> storm;
+      for (std::uint64_t i = 0; i < calls; ++i) {
+        const std::string caller = user_name(450 + i);
+        const std::string callee = user_name(400 + i);
+        const std::string call = tag("t4c", i);
+        storm.push_back(mf.invite(caller, callee, call, 1));
+        // Retransmission of the identical INVITE (same branch), delivered
+        // concurrently — matched by a different worker thread.
+        storm.push_back(mf.invite(caller, callee, call, 1));
+        if (rng.chance(1, 2)) {
+          storm.push_back(mf.cancel(caller, callee, call, 1));
+        } else {
+          storm.push_back(mf.ack(caller, callee, call, 1));
+          storm.push_back(mf.bye(caller, callee, call, 2));
+        }
+      }
+      s.phases.push_back(std::move(storm));
+      break;
+    }
+
+    case 5: {
+      // Heavy mixed traffic touching every subsystem at once.
+      const std::uint64_t users = 12 * k;
+      s.phases.push_back(register_phase(mf, 500, users, "t5reg"));
+      for (std::uint64_t r = 0; r < 3; ++r) {
+        std::vector<std::string> phase;
+        for (std::uint64_t i = 0; i < users; ++i) {
+          const std::string a = user_name(500 + i);
+          const std::string b = user_name(500 + (i + 1) % users);
+          const std::string call = tag("t5c", r * 1000 + i);
+          switch (rng.below(5)) {
+            case 0:
+              phase.push_back(mf.register_request(a, call, 2));
+              break;
+            case 1:
+              // Full dialog, delivered concurrently, with a retransmitted
+              // INVITE (UDP).
+              phase.push_back(mf.invite(a, b, call, 1));
+              phase.push_back(mf.invite(a, b, call, 1));
+              phase.push_back(mf.ack(a, b, call, 1));
+              phase.push_back(mf.info(a, b, call, 2, "Signal=9\r\n"));
+              phase.push_back(mf.bye(a, b, call, 3));
+              break;
+            case 2:
+              phase.push_back(mf.options(a, call, 1));
+              break;
+            case 3:
+              phase.push_back(mf.bye(a, b, call, 2));
+              break;
+            default:
+              phase.push_back(mf.info(a, b, call, 1, "Signal=1\r\n"));
+              break;
+          }
+        }
+        s.phases.push_back(std::move(phase));
+      }
+      break;
+    }
+
+    case 6: {
+      // Error flows: foreign domain (403), unregistered callee (404),
+      // malformed text (400), unknown method (405).
+      const std::uint64_t rounds = 6 * k;
+      std::vector<std::string> phase;
+      for (std::uint64_t i = 0; i < rounds; ++i) {
+        const std::string a = user_name(600 + i);
+        phase.push_back(mf.invite(a, "nobody" + std::to_string(i),
+                                  tag("t6x", i), 1, "unknown.invalid"));
+        phase.push_back(mf.invite(a, "nobody" + std::to_string(i),
+                                  tag("t6x", i), 1, "unknown.invalid"));
+        phase.push_back(
+            mf.invite(a, "ghost" + std::to_string(i), tag("t6y", i), 1));
+        phase.push_back(
+            mf.invite(a, "ghost" + std::to_string(i), tag("t6y", i), 1));
+        phase.push_back(mf.garbage(static_cast<int>(i)));
+        phase.push_back(mf.unknown_method(a, tag("t6z", i), 1));
+      }
+      s.phases.push_back(std::move(phase));
+      break;
+    }
+
+    case 7: {
+      // Registration churn: register, de-register, re-register while
+      // calls run — exercises the expiry/reaper paths.
+      const std::uint64_t users = 8 * k;
+      s.phases.push_back(register_phase(mf, 700, users, "t7reg"));
+      std::vector<std::string> churn;
+      for (std::uint64_t i = 0; i < users; ++i) {
+        const std::string u = user_name(700 + i);
+        if (rng.chance(1, 2)) {
+          churn.push_back(mf.register_request(u, tag("t7d", i), 2, 0));
+        } else {
+          const std::string caller = user_name(700 + (i + 1) % users);
+          churn.push_back(mf.invite(caller, u, tag("t7c", i), 1));
+          churn.push_back(mf.ack(caller, u, tag("t7c", i), 1));
+          churn.push_back(mf.bye(caller, u, tag("t7c", i), 2));
+        }
+      }
+      s.phases.push_back(std::move(churn));
+      std::vector<std::string> rereg;
+      for (std::uint64_t i = 0; i < users; ++i) {
+        rereg.push_back(
+            mf.register_request(user_name(700 + i), tag("t7r", i), 3));
+        rereg.push_back(
+            mf.register_request(user_name(700 + i), tag("t7r", i), 3));
+      }
+      s.phases.push_back(std::move(rereg));
+      break;
+    }
+
+    case 8: {
+      // Hotspot: many concurrent dialogs to one callee — maximum
+      // contention on one binding and its shared contact rep.
+      const std::uint64_t callers = 10 * k;
+      s.phases.push_back(register_phase(mf, 800, 1, "t8reg"));
+      std::vector<std::string> hotspot;
+      for (std::uint64_t i = 0; i < callers; ++i) {
+        const std::string caller = user_name(810 + i);
+        const std::string call = tag("t8c", i);
+        hotspot.push_back(mf.invite(caller, user_name(800), call, 1));
+        hotspot.push_back(mf.ack(caller, user_name(800), call, 1));
+        hotspot.push_back(mf.bye(caller, user_name(800), call, 2));
+      }
+      s.phases.push_back(std::move(hotspot));
+      break;
+    }
+
+    default:
+      RG_UNREACHABLE("testcase out of range");
+  }
+  return s;
+}
+
+}  // namespace rg::sipp

@@ -1,0 +1,26 @@
+// The eight test cases T1..T8 (paper §3.3: "eight of eleven test cases
+// used for the experiments on the SIP proxy server ran without changes").
+//
+// Each builds a Scenario whose request mix exercises a different slice of
+// the proxy, so the three detector configurations see different — but
+// strictly ordered — warning counts per test case, reproducing the shape
+// of Figs. 5/6.
+#pragma once
+
+#include <cstdint>
+
+#include "sipp/scenario.hpp"
+
+namespace rg::sipp {
+
+constexpr int kTestCaseCount = 8;
+
+/// Builds T`n` (1-based). `intensity` scales call counts (1 = the default
+/// experiment size); `seed` perturbs the mix deterministically.
+Scenario build_testcase(int n, std::uint64_t seed = 1,
+                        std::uint32_t intensity = 1);
+
+/// Short description used in tables.
+const char* testcase_description(int n);
+
+}  // namespace rg::sipp

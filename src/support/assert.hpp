@@ -1,0 +1,35 @@
+// RaceGuard internal assertion machinery.
+//
+// RG_ASSERT is active in all build types: a detector whose internal
+// invariants silently break produces wrong warning counts, which is worse
+// than a crash for this kind of tool.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rg::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "raceguard: assertion failed: %s at %s:%d%s%s\n", expr,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace rg::support
+
+#define RG_ASSERT(expr)                                                \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::rg::support::assert_fail(#expr, __FILE__, __LINE__, nullptr);  \
+  } while (0)
+
+#define RG_ASSERT_MSG(expr, msg)                                    \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::rg::support::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define RG_UNREACHABLE(msg) \
+  ::rg::support::assert_fail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,28 @@
+#include "support/glob.hpp"
+
+namespace rg::support {
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative two-pointer algorithm with backtracking to the last '*'.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace rg::support

@@ -1,0 +1,15 @@
+// Glob matching for Valgrind-style suppression patterns.
+//
+// Helgrind suppression files match call-stack frames with shell-style
+// wildcards ('*' any run, '?' one char); we reproduce that matcher.
+#pragma once
+
+#include <string_view>
+
+namespace rg::support {
+
+/// Shell-style glob match: '*' matches any (possibly empty) run, '?' matches
+/// exactly one character, everything else matches literally.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+}  // namespace rg::support

@@ -1,0 +1,51 @@
+#include "support/site.hpp"
+
+#include "support/assert.hpp"
+
+namespace rg::support {
+
+SiteRegistry::SiteRegistry() {
+  // Reserve id 0 for the unknown site.
+  sites_.push_back(Site{intern("<unknown>"), intern("<unknown>"), 0});
+}
+
+SiteId SiteRegistry::site(std::string_view function, std::string_view file,
+                          std::uint32_t line) {
+  const Site s{intern(function), intern(file), line};
+  std::lock_guard lock(mu_);
+  if (auto it = map_.find(s); it != map_.end()) return it->second;
+  sites_.push_back(s);
+  const SiteId id = static_cast<SiteId>(sites_.size() - 1);
+  map_.emplace(s, id);
+  return id;
+}
+
+Site SiteRegistry::get(SiteId id) const {
+  std::lock_guard lock(mu_);
+  RG_ASSERT_MSG(id < sites_.size(), "unknown site id");
+  return sites_[id];
+}
+
+std::string SiteRegistry::describe(SiteId id) const {
+  const Site s = get(id);
+  std::string out;
+  out += symbol_text(s.function);
+  out += " (";
+  out += symbol_text(s.file);
+  out += ":";
+  out += std::to_string(s.line);
+  out += ")";
+  return out;
+}
+
+std::size_t SiteRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return sites_.size();
+}
+
+SiteRegistry& global_sites() {
+  static SiteRegistry registry;
+  return registry;
+}
+
+}  // namespace rg::support

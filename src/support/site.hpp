@@ -1,0 +1,88 @@
+// Source-site registry.
+//
+// Helgrind identifies a warning by where it happened: function, file, line.
+// The instrumented runtime tags every event with a SiteId — a dense index
+// into this registry — so detectors can deduplicate "reported locations"
+// exactly the way the paper counts them (distinct locations, not distinct
+// dynamic occurrences).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "support/intern.hpp"
+
+namespace rg::support {
+
+/// Dense identifier for a static source location. 0 is the unknown site.
+using SiteId = std::uint32_t;
+
+constexpr SiteId kUnknownSite = 0;
+
+/// A static program location: function + file + line.
+struct Site {
+  Symbol function = 0;
+  Symbol file = 0;
+  std::uint32_t line = 0;
+
+  friend bool operator==(const Site&, const Site&) = default;
+};
+
+/// Thread-safe registry mapping Site -> SiteId and back.
+class SiteRegistry {
+ public:
+  SiteRegistry();
+
+  SiteRegistry(const SiteRegistry&) = delete;
+  SiteRegistry& operator=(const SiteRegistry&) = delete;
+
+  /// Interns a site, returning its dense id.
+  SiteId site(std::string_view function, std::string_view file,
+              std::uint32_t line);
+
+  /// Looks up a previously interned site.
+  Site get(SiteId id) const;
+
+  /// "function (file:line)" — the Helgrind report frame format.
+  std::string describe(SiteId id) const;
+
+  std::size_t size() const;
+
+ private:
+  struct SiteHash {
+    std::size_t operator()(const Site& s) const {
+      std::size_t h = s.function;
+      h = h * 1000003u ^ s.file;
+      h = h * 1000003u ^ s.line;
+      return h;
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<Site, SiteId, SiteHash> map_;
+  std::vector<Site> sites_;
+};
+
+/// Process-wide site registry shared by runtime and detectors.
+SiteRegistry& global_sites();
+
+/// Convenience wrapper over the global registry.
+inline SiteId site_id(std::string_view function, std::string_view file,
+                      std::uint32_t line) {
+  return global_sites().site(function, file, line);
+}
+
+}  // namespace rg::support
+
+/// Expands to the SiteId of the current source line. The static local makes
+/// repeated executions of the same line cost one registry probe total.
+#define RG_HERE()                                                     \
+  ([]() -> ::rg::support::SiteId {                                    \
+    static const ::rg::support::SiteId cached =                       \
+        ::rg::support::site_id(__func__, __FILE__, __LINE__);         \
+    return cached;                                                    \
+  }())

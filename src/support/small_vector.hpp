@@ -1,0 +1,178 @@
+// A vector with inline storage for the small case.
+//
+// Locksets and shadow call stacks are overwhelmingly short (Eraser observes
+// that most variables are guarded by one or two locks); keeping them inline
+// avoids an allocation per shadow-memory cell.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/assert.hpp"
+
+namespace rg::support {
+
+template <typename T, std::size_t N>
+class small_vector {
+  static_assert(N > 0, "inline capacity must be positive");
+  static_assert(std::is_nothrow_move_constructible_v<T>,
+                "small_vector requires nothrow-movable elements");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  small_vector() = default;
+
+  small_vector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  small_vector(const small_vector& other) {
+    reserve(other.size_);
+    for (const T& v : other) push_back(v);
+  }
+
+  small_vector(small_vector&& other) noexcept { move_from(std::move(other)); }
+
+  small_vector& operator=(const small_vector& other) {
+    if (this != &other) {
+      clear();
+      reserve(other.size_);
+      for (const T& v : other) push_back(v);
+    }
+    return *this;
+  }
+
+  small_vector& operator=(small_vector&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~small_vector() { destroy(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) {
+    RG_ASSERT(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    RG_ASSERT(i < size_);
+    return data_[i];
+  }
+
+  T& front() { return (*this)[0]; }
+  const T& front() const { return (*this)[0]; }
+  T& back() { return (*this)[size_ - 1]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    RG_ASSERT(size_ > 0);
+    data_[--size_].~T();
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    size_ = 0;
+  }
+
+  void reserve(std::size_t cap) {
+    if (cap > capacity_) grow(cap);
+  }
+
+  void resize(std::size_t n, const T& fill = T()) {
+    if (n < size_) {
+      while (size_ > n) pop_back();
+    } else {
+      reserve(n);
+      while (size_ < n) push_back(fill);
+    }
+  }
+
+  friend bool operator==(const small_vector& a, const small_vector& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  alignas(T) std::byte inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+
+  T* inline_data() { return std::launder(reinterpret_cast<T*>(inline_storage_)); }
+  bool is_inline() const {
+    return data_ == reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void grow(std::size_t new_cap) {
+    new_cap = std::max(new_cap, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (!is_inline()) ::operator delete(data_);
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void destroy() {
+    clear();
+    if (!is_inline()) ::operator delete(data_);
+    data_ = inline_data();
+    capacity_ = N;
+  }
+
+  void move_from(small_vector&& other) noexcept {
+    if (other.is_inline()) {
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = 0;
+      for (std::size_t i = 0; i < other.size_; ++i)
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      size_ = other.size_;
+      other.clear();
+    } else {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.inline_data();
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+};
+
+}  // namespace rg::support

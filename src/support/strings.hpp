@@ -1,0 +1,32 @@
+// Small string utilities shared by the SIP parser and report formatting.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rg::support {
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single-character delimiter; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char delim);
+
+/// Splits on the first occurrence of `delim`; returns {s, ""} if absent.
+std::pair<std::string_view, std::string_view> split_once(std::string_view s,
+                                                         char delim);
+
+/// ASCII case-insensitive equality (SIP header names are case-insensitive).
+bool iequals(std::string_view a, std::string_view b);
+
+/// ASCII lower-casing.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Parses a non-negative decimal integer; returns false on any non-digit.
+bool parse_u32(std::string_view s, std::uint32_t& out);
+
+}  // namespace rg::support

@@ -1,0 +1,98 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "support/assert.hpp"
+
+namespace rg::support {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::header(std::vector<std::string> cells) {
+  RG_ASSERT_MSG(rows_.empty(), "header must precede rows");
+  header_ = std::move(cells);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  RG_ASSERT_MSG(header_.empty() || cells.size() == header_.size(),
+                "row arity mismatch");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::to_cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::string out;
+  if (!title_.empty()) {
+    out += "== ";
+    out += title_;
+    out += " ==\n";
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out += "| ";
+      // Right-align cells that parse as numbers, left-align text.
+      const bool numeric =
+          !cell.empty() &&
+          cell.find_first_not_of("0123456789+-.x%") == std::string::npos;
+      if (numeric)
+        out += std::string(widths[i] - cell.size(), ' ') + cell;
+      else
+        out += cell + std::string(widths[i] - cell.size(), ' ');
+      out += ' ';
+    }
+    out += "|\n";
+  };
+  auto emit_sep = [&] {
+    for (std::size_t w : widths) out += "+" + std::string(w + 2, '-');
+    out += "+\n";
+  };
+
+  emit_sep();
+  if (!header_.empty()) {
+    emit_row(header_);
+    emit_sep();
+  }
+  for (const auto& row : rows_) emit_row(row);
+  emit_sep();
+  return out;
+}
+
+std::string Table::render_csv() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      out += row[i];
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.render();
+}
+
+}  // namespace rg::support

@@ -1,0 +1,59 @@
+// Aligned text-table rendering for the experiment harness.
+//
+// Every bench binary reproduces a paper table or figure series; this renders
+// them in the same row/column layout the paper prints.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <type_traits>
+#include <string>
+#include <vector>
+
+namespace rg::support {
+
+/// A simple column-aligned text table with an optional title and per-column
+/// right alignment for numerics.
+class Table {
+ public:
+  explicit Table(std::string title = {});
+
+  /// Sets the header row. Must be called before any add_row.
+  Table& header(std::vector<std::string> cells);
+
+  /// Appends a data row; must have the same arity as the header.
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arbitrary streamables into cells.
+  template <typename... Args>
+  Table& row(const Args&... args) {
+    return add_row({to_cell(args)...});
+  }
+
+  /// Renders with box-drawing separators.
+  std::string render() const;
+
+  /// Renders as CSV (for plotting scripts).
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(std::string_view s) { return std::string(s); }
+  static std::string to_cell(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    return std::to_string(v);
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace rg::support

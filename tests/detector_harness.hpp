@@ -1,0 +1,102 @@
+// Synthetic event harness for detector unit tests.
+//
+// Feeds a hand-written event sequence straight into a Runtime (and thus
+// into the attached tool) without a scheduler, so state-machine tests are
+// exact and free of interleaving concerns: the runtime core is just a
+// dispatcher, and the detection algorithms are pure functions of the event
+// stream.
+#pragma once
+
+#include <string>
+
+#include "rt/ids.hpp"
+#include "rt/runtime.hpp"
+#include "rt/tool.hpp"
+#include "support/site.hpp"
+
+namespace rg::test {
+
+class EventHarness {
+ public:
+  EventHarness() = default;
+
+  rt::Runtime& runtime() { return rt_; }
+
+  void attach(rt::Tool& tool) { rt_.attach(tool); }
+
+  /// Registers a thread; the first call creates the main thread (parent
+  /// kNoThread), later calls default to main as parent.
+  rt::ThreadId thread(const std::string& name,
+                      rt::ThreadId parent = rt::kNoThread) {
+    if (rt_.thread_count() == 0) {
+      return rt_.register_thread(name, rt::kNoThread, site("spawn"));
+    }
+    if (parent == rt::kNoThread) parent = 0;
+    return rt_.register_thread(name, parent, site("spawn"));
+  }
+
+  rt::LockId lock(const std::string& name, bool rw = false) {
+    return rt_.register_lock(name, rw);
+  }
+
+  void acquire(rt::ThreadId t, rt::LockId l,
+               rt::LockMode mode = rt::LockMode::Exclusive) {
+    rt_.pre_lock(t, l, mode, site("acquire"));
+    rt_.post_lock(t, l, mode, site("acquire"));
+  }
+
+  void release(rt::ThreadId t, rt::LockId l) {
+    rt_.unlock(t, l, site("release"));
+  }
+
+  void join(rt::ThreadId joiner, rt::ThreadId joined) {
+    rt_.thread_exited(joined);
+    rt_.thread_joined(joiner, joined, site("join"));
+  }
+
+  void read(rt::ThreadId t, rt::Addr addr, const std::string& where = "read",
+            std::uint32_t size = 4) {
+    rt_.access({t, addr, size, rt::AccessKind::Read, false, site(where)});
+  }
+
+  void write(rt::ThreadId t, rt::Addr addr, const std::string& where = "write",
+             std::uint32_t size = 4) {
+    rt_.access({t, addr, size, rt::AccessKind::Write, false, site(where)});
+  }
+
+  /// A LOCK-prefixed (bus-locked) write.
+  void write_locked(rt::ThreadId t, rt::Addr addr,
+                    const std::string& where = "rmw", std::uint32_t size = 4) {
+    rt_.access({t, addr, size, rt::AccessKind::Write, true, site(where)});
+  }
+
+  void alloc(rt::ThreadId t, rt::Addr addr, std::uint32_t size) {
+    rt_.alloc(t, addr, size, site("alloc"));
+  }
+
+  void free(rt::ThreadId t, rt::Addr addr) { rt_.free(t, addr, site("free")); }
+
+  void destruct(rt::ThreadId t, rt::Addr addr, std::uint32_t size) {
+    rt_.destruct_annotation(t, addr, size, site("destruct"));
+  }
+
+  void queue_put(rt::ThreadId t, rt::SyncId q, std::uint64_t token) {
+    rt_.queue_put(t, q, token, site("put"));
+  }
+
+  void queue_get(rt::ThreadId t, rt::SyncId q, std::uint64_t token) {
+    rt_.queue_get(t, q, token, site("get"));
+  }
+
+  rt::SyncId sync(const std::string& name) { return rt_.register_sync(name); }
+
+  /// Distinct-but-stable site per label, so location keys are predictable.
+  support::SiteId site(const std::string& label) {
+    return support::site_id(label, "harness.cpp", 1);
+  }
+
+ private:
+  rt::Runtime rt_;
+};
+
+}  // namespace rg::test

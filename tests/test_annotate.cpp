@@ -1,0 +1,282 @@
+// Lexer and delete-expression rewriter (the instrumentation stage).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "annotate/lexer.hpp"
+#include "annotate/pipeline.hpp"
+#include "annotate/rewrite.hpp"
+
+namespace rg::annotate {
+namespace {
+
+// --- lexer ---------------------------------------------------------------------
+
+std::vector<Token> significant(std::string_view src) {
+  std::vector<Token> out;
+  for (const Token& t : lex(src))
+    if (t.significant()) out.push_back(t);
+  return out;
+}
+
+TEST(Lexer, CoversEveryByte) {
+  const std::string_view src =
+      "int main() { /* c */ return 0; } // done\n\"str\"";
+  std::size_t covered = 0;
+  for (const Token& t : lex(src)) covered += t.text.size();
+  EXPECT_EQ(covered, src.size());
+}
+
+TEST(Lexer, Identifiers) {
+  const auto toks = significant("foo _bar baz123");
+  ASSERT_EQ(toks.size(), 3u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokKind::Identifier);
+  EXPECT_EQ(toks[1].text, "_bar");
+}
+
+TEST(Lexer, Numbers) {
+  const auto toks = significant("42 0x1F 3.14 1e-5 0b1010 1'000'000");
+  ASSERT_EQ(toks.size(), 6u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokKind::Number) << t.text;
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  const auto toks = significant(R"("hello \"quoted\" world" 'x' '\n')");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::String);
+  EXPECT_EQ(toks[1].kind, TokKind::CharLit);
+  EXPECT_EQ(toks[2].kind, TokKind::CharLit);
+}
+
+TEST(Lexer, DeleteInsideStringIsNotAnIdentifier) {
+  const auto toks = significant("\"please delete me\" x");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::String);
+  EXPECT_EQ(toks[1].text, "x");
+}
+
+TEST(Lexer, Comments) {
+  const auto toks = significant("a // delete x\nb /* delete y */ c");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, RawStrings) {
+  const auto toks = significant(R"xx(R"(delete p;)" after)xx");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::String);
+  EXPECT_EQ(toks[1].text, "after");
+}
+
+TEST(Lexer, RawStringsWithDelimiter) {
+  const auto toks = significant("R\"ab(text )\" more)ab\" tail");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokKind::String);
+  EXPECT_EQ(toks[1].text, "tail");
+}
+
+TEST(Lexer, PrefixedLiterals) {
+  const auto toks = significant("L\"wide\" u8\"utf\" U'c'");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokKind::String);
+  EXPECT_EQ(toks[1].kind, TokKind::String);
+  EXPECT_EQ(toks[2].kind, TokKind::CharLit);
+}
+
+TEST(Lexer, PreprocessorLines) {
+  const auto all = lex("#include <x>\nint a;\n  #define D(y) \\\n    (y)\nb;");
+  int pp = 0;
+  for (const Token& t : all)
+    if (t.kind == TokKind::Preprocessor) ++pp;
+  EXPECT_EQ(pp, 2);
+  // The continuation belongs to the #define token.
+  const auto sig = significant("#define A \\\n delete p\nint x;");
+  ASSERT_EQ(sig.size(), 3u);  // int, x, ;
+  EXPECT_EQ(sig[0].text, "int");
+}
+
+TEST(Lexer, HashInExpressionIsNotPreprocessor) {
+  const auto toks = significant("a # b");  // not at line start
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].kind, TokKind::Punct);
+}
+
+TEST(Lexer, MultiCharPunctuators) {
+  const auto toks = significant("a->b <<= c :: d ->* e");
+  std::vector<std::string_view> puncts;
+  for (const auto& t : toks)
+    if (t.kind == TokKind::Punct) puncts.push_back(t.text);
+  ASSERT_EQ(puncts.size(), 4u);
+  EXPECT_EQ(puncts[0], "->");
+  EXPECT_EQ(puncts[1], "<<=");
+  EXPECT_EQ(puncts[2], "::");
+  EXPECT_EQ(puncts[3], "->*");
+}
+
+TEST(Lexer, UnterminatedStringTolerated) {
+  const auto toks = lex("\"oops\nnext");
+  EXPECT_FALSE(toks.empty());
+  EXPECT_EQ(toks.back().kind, TokKind::End);
+}
+
+// --- rewriter ------------------------------------------------------------------
+
+RewriteOptions bare() {
+  RewriteOptions o;
+  o.single_wrapper = "WRAP";
+  o.array_wrapper = "WRAPA";
+  o.include_line.clear();
+  return o;
+}
+
+TEST(Rewriter, Figure4Transformation) {
+  const auto r = annotate_deletes("void g(char* p)\n{\n  delete p;\n}\n",
+                                  bare());
+  EXPECT_EQ(r.single_rewrites, 1u);
+  EXPECT_NE(r.text.find("delete WRAP(p);"), std::string::npos);
+}
+
+TEST(Rewriter, ArrayDelete) {
+  const auto r = annotate_deletes("delete [] arr;", bare());
+  EXPECT_EQ(r.array_rewrites, 1u);
+  EXPECT_NE(r.text.find("delete [] WRAPA(arr);"), std::string::npos);
+}
+
+TEST(Rewriter, DeletedFunctionsUntouched) {
+  const char* src =
+      "struct S {\n"
+      "  S(const S&) = delete;\n"
+      "  S& operator=(const S&) = delete;\n"
+      "};\n";
+  const auto r = annotate_deletes(src, bare());
+  EXPECT_EQ(r.total(), 0u);
+  EXPECT_EQ(r.text, src);
+}
+
+TEST(Rewriter, OperatorDeleteUntouched) {
+  const char* src =
+      "void operator delete(void*) noexcept;\n"
+      "void operator delete[](void*) noexcept;\n";
+  const auto r = annotate_deletes(src, bare());
+  EXPECT_EQ(r.total(), 0u);
+}
+
+TEST(Rewriter, StringsAndCommentsUntouched) {
+  const char* src =
+      "const char* s = \"delete p;\";\n"
+      "// delete q;\n"
+      "/* delete r; */\n";
+  const auto r = annotate_deletes(src, bare());
+  EXPECT_EQ(r.total(), 0u);
+  EXPECT_EQ(r.text, src);
+}
+
+TEST(Rewriter, ComplexOperands) {
+  const auto r = annotate_deletes(
+      "delete (p);\n"
+      "delete this->member;\n"
+      "delete arr[i];\n"
+      "delete container.at(key);\n",
+      bare());
+  EXPECT_EQ(r.single_rewrites, 4u);
+  EXPECT_NE(r.text.find("WRAP((p))"), std::string::npos);
+  EXPECT_NE(r.text.find("WRAP(this->member)"), std::string::npos);
+  EXPECT_NE(r.text.find("WRAP(arr[i])"), std::string::npos);
+  EXPECT_NE(r.text.find("WRAP(container.at(key))"), std::string::npos);
+}
+
+TEST(Rewriter, ConditionalExpression) {
+  const auto r = annotate_deletes("cond ? delete a : delete b;", bare());
+  EXPECT_EQ(r.single_rewrites, 2u);
+  EXPECT_NE(r.text.find("delete WRAP(a) :"), std::string::npos);
+  EXPECT_NE(r.text.find("delete WRAP(b);"), std::string::npos);
+}
+
+TEST(Rewriter, DeleteInsideCall) {
+  const auto r = annotate_deletes("f(delete p, x);", bare());
+  EXPECT_EQ(r.single_rewrites, 1u);
+  EXPECT_NE(r.text.find("f(delete WRAP(p), x);"), std::string::npos);
+}
+
+TEST(Rewriter, MultipleDeletesOneStatement) {
+  const auto r = annotate_deletes("delete a, delete b;", bare());
+  EXPECT_EQ(r.single_rewrites, 2u);
+}
+
+TEST(Rewriter, IncludeLinePrependedOnlyWhenChanged) {
+  RewriteOptions opts = bare();
+  opts.include_line = "#include \"annotate/runtime.hpp\"";
+  const auto changed = annotate_deletes("delete p;", opts);
+  EXPECT_EQ(changed.text.find("#include \"annotate/runtime.hpp\"\n"), 0u);
+  const auto unchanged = annotate_deletes("int x;", opts);
+  EXPECT_EQ(unchanged.text, "int x;");
+}
+
+TEST(Rewriter, EverythingElseBytePreserved) {
+  const std::string src =
+      "  /* keep */\tint  x=1;\n  delete  p ;  // trailing\n";
+  const auto r = annotate_deletes(src, bare());
+  // Removing the inserted wrapper text restores the original exactly.
+  std::string undone = r.text;
+  const auto open = undone.find("WRAP(");
+  ASSERT_NE(open, std::string::npos);
+  undone.erase(open, 5);
+  const auto close = undone.find(')', open);
+  ASSERT_NE(close, std::string::npos);
+  undone.erase(close, 1);
+  EXPECT_EQ(undone, src);
+}
+
+TEST(Rewriter, DefaultWrappersCompileAgainstRuntime) {
+  const auto r = annotate_deletes("delete p;");
+  EXPECT_NE(r.text.find("::rg::annotate::ca_deletor_single(p)"),
+            std::string::npos);
+}
+
+TEST(Rewriter, TemplateArgumentsInOperand) {
+  const auto r =
+      annotate_deletes("delete static_cast<Node<int>*>(p);", bare());
+  EXPECT_EQ(r.single_rewrites, 1u);
+  // The full cast expression is wrapped.
+  EXPECT_NE(r.text.find("WRAP(static_cast<Node<int>*>(p))"),
+            std::string::npos);
+}
+
+// --- pipeline -------------------------------------------------------------------
+
+TEST(Pipeline, FileRoundTrip) {
+  const std::string in_path = ::testing::TempDir() + "/rg_annotate_in.cpp";
+  const std::string out_path = ::testing::TempDir() + "/rg_annotate_out.cpp";
+  {
+    std::ofstream out(in_path);
+    out << "void g(char* p) { delete p; }\n";
+  }
+  RewriteOptions opts;
+  PipelineStats stats;
+  std::string error;
+  ASSERT_TRUE(annotate_file(in_path, out_path, opts, stats, error)) << error;
+  EXPECT_EQ(stats.files_processed, 1u);
+  EXPECT_EQ(stats.files_changed, 1u);
+  EXPECT_EQ(stats.single_rewrites, 1u);
+  std::ifstream result(out_path);
+  std::string text((std::istreambuf_iterator<char>(result)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("ca_deletor_single(p)"), std::string::npos);
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(Pipeline, MissingInputReportsError) {
+  RewriteOptions opts;
+  PipelineStats stats;
+  std::string error;
+  EXPECT_FALSE(
+      annotate_file("/nonexistent/file.cpp", "-", opts, stats, error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace rg::annotate

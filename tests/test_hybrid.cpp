@@ -1,0 +1,174 @@
+// HybridTool — lockset + happens-before combination (Multi-Race style).
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hpp"
+#include "detector_harness.hpp"
+
+namespace rg::core {
+namespace {
+
+using rg::test::EventHarness;
+using rt::ThreadId;
+
+constexpr rt::Addr kAddr = 0x40000;
+
+HybridConfig hwlc_hybrid() {
+  HybridConfig cfg;
+  cfg.lockset = HelgrindConfig::hwlc_dr();
+  return cfg;
+}
+
+TEST(Hybrid, CleanProgramProducesNoVerdicts) {
+  HybridTool tool(hwlc_hybrid());
+  EventHarness h;
+  h.attach(tool);
+  const ThreadId main = h.thread("main");
+  const ThreadId t1 = h.thread("t1");
+  const auto m = h.lock("m");
+  for (ThreadId t : {main, t1, main}) {
+    h.acquire(t, m);
+    h.write(t, kAddr);
+    h.release(t, m);
+  }
+  h.runtime().finish();
+  EXPECT_TRUE(tool.verdicts().empty());
+}
+
+TEST(Hybrid, ConfirmedRaceFlaggedByBoth) {
+  HybridTool tool(hwlc_hybrid());
+  EventHarness h;
+  h.attach(tool);
+  const ThreadId main = h.thread("main");
+  h.alloc(main, kAddr, 8);
+  const ThreadId a = h.thread("a");
+  const ThreadId b = h.thread("b");
+  h.write(a, kAddr);
+  h.write(b, kAddr);  // unordered, no locks: both detectors fire
+  h.runtime().finish();
+  ASSERT_EQ(tool.verdicts().size(), 1u);
+  EXPECT_TRUE(tool.verdicts()[0].confirmed);
+  EXPECT_EQ(tool.confirmed_count(), 1u);
+  EXPECT_EQ(tool.possible_count(), 0u);
+}
+
+TEST(Hybrid, LockCoincidenceIsLocksetOnly) {
+  // The ordering in this schedule happens to serialise the accesses via
+  // the same mutex, but no common lock guards the data: lockset flags it,
+  // happens-before cannot.
+  HybridTool tool(hwlc_hybrid());
+  EventHarness h;
+  h.attach(tool);
+  const ThreadId main = h.thread("main");
+  h.alloc(main, kAddr, 8);
+  const ThreadId a = h.thread("a");
+  const ThreadId b = h.thread("b");
+  const ThreadId c = h.thread("c");
+  const auto m1 = h.lock("m1");
+  const auto m2 = h.lock("m2");
+  const auto m3 = h.lock("m3");
+  h.acquire(a, m1);
+  h.write(a, kAddr);
+  h.release(a, m1);
+  // b syncs with a through m1 (release->acquire orders the accesses in
+  // this schedule), then writes under its own lock. The lockset is
+  // initialised here — at the first *shared* access — to {m2}.
+  h.acquire(b, m1);
+  h.release(b, m1);
+  h.acquire(b, m2);
+  h.write(b, kAddr);
+  h.release(b, m2);
+  // c syncs with b through m2 and writes under m3: {m2} ∩ {m3} = {} — the
+  // lockset warns, while every pair of accesses is HB-ordered by the
+  // accidental lock hand-overs.
+  h.acquire(c, m2);
+  h.release(c, m2);
+  h.acquire(c, m3);
+  h.write(c, kAddr);
+  h.release(c, m3);
+  h.runtime().finish();
+  ASSERT_EQ(tool.verdicts().size(), 1u);
+  EXPECT_FALSE(tool.verdicts()[0].confirmed);
+  EXPECT_FALSE(tool.verdicts()[0].hb_only);
+  EXPECT_EQ(tool.possible_count(), 1u);
+}
+
+TEST(Hybrid, HbOnlyWhenLocksetDisciplineHolds) {
+  // Both accesses hold the same lock at access time, so the lockset
+  // discipline is satisfied — but a delayed-lockset-initialisation
+  // artefact can never fire here; instead build the case where the lockset
+  // pass is silenced by the state machine (exclusive-by-segments) while
+  // DJIT (no segment refinement) flags the unordered pair.
+  HybridConfig cfg = hwlc_hybrid();
+  cfg.hb.lock_hb = false;  // make DJIT strict about lock edges
+  HybridTool tool(cfg);
+  EventHarness h;
+  h.attach(tool);
+  const ThreadId main = h.thread("main");
+  h.alloc(main, kAddr, 8);
+  const ThreadId a = h.thread("a");
+  const ThreadId b = h.thread("b");
+  const auto m = h.lock("m");
+  h.acquire(a, m);
+  h.write(a, kAddr);
+  h.release(a, m);
+  h.acquire(b, m);
+  h.write(b, kAddr);
+  h.release(b, m);
+  h.runtime().finish();
+  // Lockset: C(v)={m} — silent. DJIT without lock edges: unordered — race.
+  ASSERT_EQ(tool.verdicts().size(), 1u);
+  EXPECT_TRUE(tool.verdicts()[0].hb_only);
+  EXPECT_EQ(tool.hb_only_count(), 1u);
+}
+
+TEST(Hybrid, ForwardsAllocationEvents) {
+  HybridTool tool(hwlc_hybrid());
+  EventHarness h;
+  h.attach(tool);
+  const ThreadId main = h.thread("main");
+  h.alloc(main, kAddr, 16);
+  const ThreadId a = h.thread("a");
+  const ThreadId b = h.thread("b");
+  h.write(a, kAddr);
+  h.free(a, kAddr);
+  h.alloc(b, kAddr, 16);
+  h.write(b, kAddr);  // fresh lifetime in both sub-detectors
+  h.runtime().finish();
+  EXPECT_TRUE(tool.verdicts().empty());
+}
+
+TEST(Hybrid, MultipleVerdictsSorted) {
+  HybridTool tool(hwlc_hybrid());
+  EventHarness h;
+  h.attach(tool);
+  const ThreadId main = h.thread("main");
+  h.alloc(main, kAddr, 8);
+  h.alloc(main, kAddr + 64, 8);
+  const ThreadId a = h.thread("a");
+  const ThreadId b = h.thread("b");
+  h.write(a, kAddr, "w1");
+  h.write(b, kAddr, "w2");
+  h.write(a, kAddr + 64, "w3");
+  h.write(b, kAddr + 64, "w4");
+  h.runtime().finish();
+  EXPECT_EQ(tool.verdicts().size(), 2u);
+  EXPECT_EQ(tool.confirmed_count(), 2u);
+}
+
+TEST(Hybrid, SubToolsAccessible) {
+  HybridTool tool(hwlc_hybrid());
+  EventHarness h;
+  h.attach(tool);
+  const ThreadId main = h.thread("main");
+  const ThreadId a = h.thread("a");
+  const ThreadId b = h.thread("b");
+  (void)main;
+  h.write(a, kAddr);
+  h.write(b, kAddr);
+  h.runtime().finish();
+  EXPECT_EQ(tool.lockset_tool().reports().distinct_locations(), 1u);
+  EXPECT_EQ(tool.hb_tool().reports().distinct_locations(), 1u);
+}
+
+}  // namespace
+}  // namespace rg::core

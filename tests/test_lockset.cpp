@@ -1,0 +1,155 @@
+// Lockset interning and intersection algebra.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rt/runtime.hpp"
+#include "shadow/lockset.hpp"
+#include "support/prng.hpp"
+
+namespace rg::shadow {
+namespace {
+
+TEST(Lockset, EmptySetIsIdZero) {
+  LocksetTable t;
+  EXPECT_EQ(t.intern({}), kEmptyLockset);
+  EXPECT_TRUE(t.empty(kEmptyLockset));
+  EXPECT_EQ(t.size(kEmptyLockset), 0u);
+}
+
+TEST(Lockset, InterningIsCanonical) {
+  LocksetTable t;
+  const LocksetId a = t.intern({1, 2, 3});
+  const LocksetId b = t.intern({3, 1, 2});    // order irrelevant
+  const LocksetId c = t.intern({1, 1, 2, 3}); // duplicates removed
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  EXPECT_EQ(t.size(a), 3u);
+}
+
+TEST(Lockset, DistinctSetsDistinctIds) {
+  LocksetTable t;
+  EXPECT_NE(t.intern({1}), t.intern({2}));
+  EXPECT_NE(t.intern({1}), t.intern({1, 2}));
+}
+
+TEST(Lockset, IntersectBasics) {
+  LocksetTable t;
+  const LocksetId ab = t.intern({1, 2});
+  const LocksetId bc = t.intern({2, 3});
+  const LocksetId b = t.intern({2});
+  EXPECT_EQ(t.intersect(ab, bc), b);
+  EXPECT_EQ(t.intersect(ab, t.intern({3})), kEmptyLockset);
+}
+
+TEST(Lockset, UniversalIsIdentity) {
+  LocksetTable t;
+  const LocksetId s = t.intern({4, 7});
+  EXPECT_EQ(t.intersect(kUniversalLockset, s), s);
+  EXPECT_EQ(t.intersect(s, kUniversalLockset), s);
+  EXPECT_EQ(t.intersect(kUniversalLockset, kUniversalLockset),
+            kUniversalLockset);
+}
+
+TEST(Lockset, EmptyAnnihilates) {
+  LocksetTable t;
+  const LocksetId s = t.intern({1, 2, 3});
+  EXPECT_EQ(t.intersect(kEmptyLockset, s), kEmptyLockset);
+  EXPECT_EQ(t.intersect(s, kEmptyLockset), kEmptyLockset);
+}
+
+TEST(Lockset, IntersectIdempotent) {
+  LocksetTable t;
+  const LocksetId s = t.intern({5, 6});
+  EXPECT_EQ(t.intersect(s, s), s);
+}
+
+TEST(Lockset, ContainsAndWith) {
+  LocksetTable t;
+  const LocksetId s = t.intern({10, 20});
+  EXPECT_TRUE(t.contains(s, 10));
+  EXPECT_FALSE(t.contains(s, 15));
+  EXPECT_TRUE(t.contains(kUniversalLockset, 12345));
+  const LocksetId s2 = t.with(s, 15);
+  EXPECT_TRUE(t.contains(s2, 15));
+  EXPECT_EQ(t.with(s, 10), s);  // already present
+  EXPECT_EQ(t.with(kUniversalLockset, 1), kUniversalLockset);
+}
+
+TEST(Lockset, IntersectionCacheHits) {
+  LocksetTable t;
+  const LocksetId a = t.intern({1, 2, 3});
+  const LocksetId b = t.intern({2, 3, 4});
+  const LocksetId first = t.intersect(a, b);
+  const auto misses = t.cache_misses();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(t.intersect(a, b), first);
+  EXPECT_EQ(t.cache_misses(), misses);
+  EXPECT_GE(t.cache_hits(), 10u);
+}
+
+TEST(Lockset, IntersectCommutes) {
+  LocksetTable t;
+  const LocksetId a = t.intern({1, 3, 5});
+  const LocksetId b = t.intern({3, 5, 7});
+  EXPECT_EQ(t.intersect(a, b), t.intersect(b, a));
+}
+
+TEST(Lockset, Describe) {
+  LocksetTable t;
+  rt::Runtime rt;
+  const rt::LockId l1 = rt.register_lock("alpha", false);
+  const rt::LockId l2 = rt.register_lock("beta", false);
+  const LocksetId s = t.intern({l1, l2});
+  const std::string text = t.describe(s, rt);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_EQ(t.describe(kEmptyLockset, rt), "{}");
+  EXPECT_EQ(t.describe(kUniversalLockset, rt), "{<all locks>}");
+}
+
+/// Property: interned-set algebra agrees with std::set semantics across
+/// random set pairs.
+class LocksetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocksetProperty, MatchesStdSetIntersection) {
+  support::Xoshiro256 rng(GetParam());
+  LocksetTable table;
+  for (int round = 0; round < 200; ++round) {
+    std::set<rt::LockId> sa, sb;
+    LockVec va, vb;
+    for (int i = 0; i < static_cast<int>(rng.below(6)); ++i) {
+      const auto lock = static_cast<rt::LockId>(rng.below(10));
+      if (sa.insert(lock).second) va.push_back(lock);
+    }
+    for (int i = 0; i < static_cast<int>(rng.below(6)); ++i) {
+      const auto lock = static_cast<rt::LockId>(rng.below(10));
+      if (sb.insert(lock).second) vb.push_back(lock);
+    }
+    std::set<rt::LockId> expected;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(expected, expected.begin()));
+    const LocksetId result =
+        table.intersect(table.intern(va), table.intern(vb));
+    ASSERT_EQ(table.size(result), expected.size());
+    for (rt::LockId lock : expected) EXPECT_TRUE(table.contains(result, lock));
+    // Monotonicity: |a ∩ b| <= min(|a|, |b|).
+    EXPECT_LE(table.size(result), std::min(sa.size(), sb.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocksetProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Lockset, ManyDistinctSets) {
+  LocksetTable t;
+  std::set<LocksetId> ids;
+  for (rt::LockId a = 0; a < 12; ++a)
+    for (rt::LockId b = a; b < 12; ++b) ids.insert(t.intern({a, b}));
+  // 12 singletons + 66 pairs
+  EXPECT_EQ(ids.size(), 78u - 12u + 12u);
+  EXPECT_GE(t.distinct_sets(), ids.size());
+}
+
+}  // namespace
+}  // namespace rg::shadow

@@ -1,0 +1,264 @@
+// Tracked memory: events carry the right addresses, sizes, kinds and the
+// x86 LOCK-prefix flag; instrumented_object emulates alloc/vptr behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/memory.hpp"
+#include "rt/sim.hpp"
+#include "rt/thread.hpp"
+
+namespace rg::rt {
+namespace {
+
+class AccessRecorder : public Tool {
+ public:
+  std::vector<MemoryAccess> accesses;
+  std::vector<std::pair<Addr, std::uint32_t>> allocs;
+  std::vector<Addr> frees;
+  std::vector<std::pair<Addr, std::uint32_t>> destructs;
+
+  void on_access(const MemoryAccess& a) override { accesses.push_back(a); }
+  void on_alloc(ThreadId, Addr a, std::uint32_t s, support::SiteId) override {
+    allocs.emplace_back(a, s);
+  }
+  void on_free(ThreadId, Addr a, std::uint32_t, support::SiteId) override {
+    frees.push_back(a);
+  }
+  void on_destruct_annotation(ThreadId, Addr a, std::uint32_t s,
+                              support::SiteId) override {
+    destructs.emplace_back(a, s);
+  }
+};
+
+TEST(Tracked, LoadStoreRoundTrip) {
+  Sim sim;
+  sim.run([&] {
+    tracked<int> x(5);
+    EXPECT_EQ(x.load(), 5);
+    x.store(9);
+    EXPECT_EQ(x.load(), 9);
+  });
+}
+
+TEST(Tracked, EventsCarryAddressSizeKind) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    tracked<std::uint64_t> x;
+    x.store(1);
+    (void)x.load();
+  });
+  ASSERT_EQ(rec.accesses.size(), 2u);
+  EXPECT_EQ(rec.accesses[0].kind, AccessKind::Write);
+  EXPECT_EQ(rec.accesses[0].size, 8u);
+  EXPECT_EQ(rec.accesses[1].kind, AccessKind::Read);
+  EXPECT_EQ(rec.accesses[0].addr, rec.accesses[1].addr);
+  EXPECT_FALSE(rec.accesses[0].bus_locked);
+}
+
+TEST(Tracked, NativeModeIsSilent) {
+  tracked<int> x(3);
+  x.store(4);
+  EXPECT_EQ(x.load(), 4);  // no Sim: nothing to record, must not crash
+}
+
+TEST(AtomicCell, FetchAddIsBusLockedWrite) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    atomic_cell<int> refcount(1);
+    refcount.fetch_add(1);
+    (void)refcount.load();
+  });
+  ASSERT_EQ(rec.accesses.size(), 2u);
+  // Per the i386 spec the RMW write carries the LOCK prefix...
+  EXPECT_EQ(rec.accesses[0].kind, AccessKind::Write);
+  EXPECT_TRUE(rec.accesses[0].bus_locked);
+  // ...while reads never do.
+  EXPECT_EQ(rec.accesses[1].kind, AccessKind::Read);
+  EXPECT_FALSE(rec.accesses[1].bus_locked);
+}
+
+TEST(AtomicCell, FetchAddReturnsOldValue) {
+  Sim sim;
+  sim.run([&] {
+    atomic_cell<int> c(10);
+    EXPECT_EQ(c.fetch_add(5), 10);
+    EXPECT_EQ(c.load(), 15);
+    EXPECT_EQ(c.fetch_add(-15), 15);
+    EXPECT_EQ(c.load(), 0);
+  });
+}
+
+TEST(AtomicCell, StoreIsLocked) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    atomic_cell<std::uint32_t> c;
+    c.store(7);
+  });
+  ASSERT_EQ(rec.accesses.size(), 1u);
+  EXPECT_TRUE(rec.accesses[0].bus_locked);
+}
+
+TEST(AccessMarker, ReadsAndWrites) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    access_marker m;
+    m.read();
+    m.write();
+  });
+  ASSERT_EQ(rec.accesses.size(), 2u);
+  EXPECT_EQ(rec.accesses[0].kind, AccessKind::Read);
+  EXPECT_EQ(rec.accesses[1].kind, AccessKind::Write);
+  EXPECT_EQ(rec.accesses[0].addr,
+            reinterpret_cast<Addr>(rec.accesses[1].addr));
+}
+
+// --- instrumented_object -----------------------------------------------------------
+
+struct Base : instrumented_object {
+  tracked<int> field;
+  ~Base() override { vptr_write(); }
+};
+struct Derived : Base {
+  ~Derived() override { vptr_write(); }
+};
+
+TEST(InstrumentedObject, NewRegistersWholeBlock) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    auto* obj = new Derived;
+    ASSERT_EQ(rec.allocs.size(), 1u);
+    EXPECT_EQ(rec.allocs[0].first, reinterpret_cast<Addr>(obj));
+    EXPECT_EQ(rec.allocs[0].second, sizeof(Derived));
+    delete obj;
+    ASSERT_EQ(rec.frees.size(), 1u);
+    EXPECT_EQ(rec.frees[0], reinterpret_cast<Addr>(obj));
+  });
+}
+
+TEST(InstrumentedObject, DestructorChainWritesVptrPerClass) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    auto* obj = new Derived;
+    const Addr base = reinterpret_cast<Addr>(obj);
+    rec.accesses.clear();
+    delete obj;
+    // Derived, Base and instrumented_object each rewrite the vptr.
+    int vptr_writes = 0;
+    for (const auto& a : rec.accesses)
+      if (a.addr == base && a.kind == AccessKind::Write) ++vptr_writes;
+    EXPECT_EQ(vptr_writes, 3);
+  });
+}
+
+TEST(InstrumentedObject, VirtualDispatchReadsVptr) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    auto* obj = new Derived;
+    rec.accesses.clear();
+    obj->virtual_dispatch();
+    ASSERT_EQ(rec.accesses.size(), 1u);
+    EXPECT_EQ(rec.accesses[0].kind, AccessKind::Read);
+    EXPECT_EQ(rec.accesses[0].addr, reinterpret_cast<Addr>(obj));
+    EXPECT_EQ(rec.accesses[0].size, sizeof(void*));
+    delete obj;
+  });
+}
+
+TEST(AnnotateDestruct, AnnouncesBeforeDelete) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    auto* obj = new Derived;
+    const Addr obj_addr = reinterpret_cast<Addr>(obj);
+    delete annotate_destruct(obj);
+    ASSERT_EQ(rec.destructs.size(), 1u);
+    EXPECT_EQ(rec.destructs[0].first, obj_addr);
+    EXPECT_EQ(rec.destructs[0].second, sizeof(Derived));
+  });
+  // The annotation must precede the free.
+  ASSERT_EQ(rec.frees.size(), 1u);
+}
+
+TEST(AnnotateDestruct, NullIsNoop) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    Derived* obj = nullptr;
+    delete annotate_destruct(obj);
+  });
+  EXPECT_TRUE(rec.destructs.empty());
+}
+
+TEST(AnnotateDestruct, NoopOutsideSim) {
+  // "The annotation could be inserted into production code" — it must be
+  // free of effects without the VM.
+  auto* obj = new Derived;
+  delete annotate_destruct(obj);  // must not crash, no runtime to notify
+}
+
+TEST(FuncFrameTest, PushesAndPops) {
+  Sim sim;
+  sim.run([&] {
+    Runtime& rt = Sim::current()->runtime();
+    const ThreadId me = Sim::current_thread();
+    const std::size_t before = rt.stack_of(me).size();
+    {
+      RG_FRAME();
+      EXPECT_EQ(rt.stack_of(me).size(), before + 1);
+      {
+        RG_FRAME();
+        EXPECT_EQ(rt.stack_of(me).size(), before + 2);
+      }
+      EXPECT_EQ(rt.stack_of(me).size(), before + 1);
+    }
+    EXPECT_EQ(rt.stack_of(me).size(), before);
+  });
+}
+
+TEST(MemEvents, SpanningAccessSizes) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    char buffer[64] = {};
+    mem_write(buffer, 64, std::source_location::current());
+    mem_read(buffer, 1, std::source_location::current());
+  });
+  ASSERT_EQ(rec.accesses.size(), 2u);
+  EXPECT_EQ(rec.accesses[0].size, 64u);
+  EXPECT_EQ(rec.accesses[1].size, 1u);
+}
+
+TEST(MemEvents, SiteIsCallerLocation) {
+  AccessRecorder rec;
+  Sim sim;
+  sim.attach(rec);
+  sim.run([&] {
+    tracked<int> x;
+    x.store(1);
+  });
+  ASSERT_EQ(rec.accesses.size(), 1u);
+  const auto site = support::global_sites().get(rec.accesses[0].site);
+  EXPECT_NE(std::string(support::symbol_text(site.file)).find("test_memory"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rg::rt

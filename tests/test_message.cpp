@@ -1,0 +1,158 @@
+// SIP message model.
+#include <gtest/gtest.h>
+
+#include "rt/sim.hpp"
+#include "sip/message.hpp"
+
+namespace rg::sip {
+namespace {
+
+TEST(Method, ParseAndPrintRoundTrip) {
+  for (Method m : {Method::Invite, Method::Ack, Method::Bye, Method::Cancel,
+                   Method::Options, Method::Register, Method::Info}) {
+    EXPECT_EQ(parse_method(to_string(m)), m);
+  }
+  EXPECT_EQ(parse_method("SUBSCRIBE"), Method::Unknown);
+  EXPECT_EQ(parse_method("invite"), Method::Unknown);  // case-sensitive
+}
+
+TEST(ReasonPhrase, CommonCodes) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(404), "Not Found");
+  EXPECT_EQ(reason_phrase(481), "Call/Transaction Does Not Exist");
+  EXPECT_EQ(reason_phrase(599), "Unknown");
+}
+
+TEST(Message, HeadersCaseInsensitive) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipRequest req(Method::Invite, "sip:bob@example.com");
+    req.add_header("Call-ID", cow_string("abc"));
+    EXPECT_TRUE(req.has_header("call-id"));
+    EXPECT_TRUE(req.has_header("CALL-ID"));
+    EXPECT_EQ(req.header("Call-Id").str(), "abc");
+    EXPECT_FALSE(req.has_header("via"));
+    EXPECT_TRUE(req.header("missing").empty());
+  });
+}
+
+TEST(Message, RepeatedHeadersKeepOrder) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipRequest req(Method::Invite, "sip:x@y");
+    req.add_header("via", cow_string("hop1"));
+    req.add_header("via", cow_string("hop2"));
+    const auto vias = req.headers("via");
+    ASSERT_EQ(vias.size(), 2u);
+    EXPECT_EQ(vias[0].str(), "hop1");
+    EXPECT_EQ(vias[1].str(), "hop2");
+    // header() returns the topmost.
+    EXPECT_EQ(req.header("via").str(), "hop1");
+  });
+}
+
+TEST(Message, PushFrontAndRemoveTop) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipRequest req(Method::Invite, "sip:x@y");
+    req.add_header("via", cow_string("old"));
+    req.push_header_front("via", cow_string("new"));
+    EXPECT_EQ(req.header("via").str(), "new");
+    EXPECT_TRUE(req.remove_top_header("via"));
+    EXPECT_EQ(req.header("via").str(), "old");
+    EXPECT_TRUE(req.remove_top_header("via"));
+    EXPECT_FALSE(req.remove_top_header("via"));
+  });
+}
+
+TEST(Message, BodyAndContentLength) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipRequest req(Method::Invite, "sip:x@y");
+    req.set_body(cow_string("v=0"));
+    EXPECT_EQ(req.body().str(), "v=0");
+    const std::string wire = req.serialize();
+    EXPECT_NE(wire.find("Content-Length: 3\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("\r\n\r\nv=0"), std::string::npos);
+  });
+}
+
+TEST(Message, RequestStartLine) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipRequest req(Method::Register, "sip:example.com");
+    EXPECT_TRUE(req.is_request());
+    EXPECT_EQ(req.start_line(), "REGISTER sip:example.com SIP/2.0");
+  });
+}
+
+TEST(Message, ResponseStartLine) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipResponse resp(180);
+    EXPECT_FALSE(resp.is_request());
+    EXPECT_EQ(resp.start_line(), "SIP/2.0 180 Ringing");
+    EXPECT_EQ(resp.status(), 180);
+    SipResponse custom(606, "Not Acceptable Here");
+    EXPECT_EQ(custom.start_line(), "SIP/2.0 606 Not Acceptable Here");
+  });
+}
+
+TEST(Message, SerializeWireCapitalisation) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipResponse resp(200);
+    resp.add_header("call-id", cow_string("x"));
+    resp.add_header("cseq", cow_string("1 INVITE"));
+    resp.add_header("www-authenticate", cow_string("Digest"));
+    resp.add_header("record-route", cow_string("<sip:p>"));
+    const std::string wire = resp.serialize();
+    EXPECT_NE(wire.find("Call-ID: x"), std::string::npos);
+    EXPECT_NE(wire.find("CSeq: 1 INVITE"), std::string::npos);
+    EXPECT_NE(wire.find("WWW-Authenticate: Digest"), std::string::npos);
+    EXPECT_NE(wire.find("Record-Route: <sip:p>"), std::string::npos);
+  });
+}
+
+TEST(Message, SerializeEndsHeadersWithBlankLine) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipResponse resp(200);
+    const std::string wire = resp.serialize();
+    EXPECT_NE(wire.find("Content-Length: 0\r\n\r\n"), std::string::npos);
+  });
+}
+
+TEST(Message, HeaderCowValuesShareReps) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipRequest req(Method::Invite, "sip:x@y");
+    cow_string shared("common-value");
+    req.add_header("route", cow_string(shared));
+    EXPECT_EQ(shared.use_count(), 2);  // message holds a shared rep
+    const cow_string back = req.header("route");
+    EXPECT_EQ(shared.use_count(), 3);
+  });
+}
+
+TEST(Message, MetaTracksNothingButIsDispatchable) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipResponse resp(200);
+    // serialize() performs the meta vcall; must not disturb content.
+    const std::string a = resp.serialize();
+    const std::string b = resp.serialize();
+    EXPECT_EQ(a, b);
+  });
+}
+
+TEST(Message, WorksOutsideSim) {
+  // Message objects must be usable in plain unit-test context too.
+  SipRequest req(Method::Bye, "sip:a@b");
+  req.add_header("via", cow_string("v"));
+  EXPECT_EQ(req.header("via").str(), "v");
+  EXPECT_NE(req.serialize().find("BYE sip:a@b SIP/2.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rg::sip

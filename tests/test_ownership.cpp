@@ -1,0 +1,94 @@
+// E4 — the Figs. 10/11 ownership-transfer experiment: thread-per-request
+// vs thread-pool dispatch, and the message-passing detector extension.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/helgrind.hpp"
+#include "rt/sim.hpp"
+#include "sip/dispatch.hpp"
+#include "sip/proxy.hpp"
+#include "sipp/experiment.hpp"
+#include "sipp/testcases.hpp"
+
+namespace rg::sip {
+namespace {
+
+/// Runs the same workload through a dispatcher under a detector config and
+/// returns the distinct race locations.
+std::size_t run_dispatch(sipp::DispatchMode mode,
+                         const core::HelgrindConfig& detector,
+                         std::vector<std::string>* keys = nullptr) {
+  sipp::ExperimentConfig cfg;
+  cfg.seed = 17;
+  cfg.mode = mode;
+  cfg.detector = detector;
+  // Clean proxy: every warning left is dispatch-pattern-related.
+  cfg.faults = FaultConfig::none();
+  const auto scenario = sipp::build_testcase(2, cfg.seed);
+  const auto result = run_scenario(scenario, cfg);
+  EXPECT_TRUE(result.sim.completed());
+  if (keys != nullptr) *keys = result.location_keys;
+  return result.reported_locations;
+}
+
+TEST(Ownership, ThreadPerRequestIsSilent) {
+  // Fig. 10: create/join hand-offs keep job data EXCLUSIVE.
+  EXPECT_EQ(run_dispatch(sipp::DispatchMode::ThreadPerRequest,
+                         core::HelgrindConfig::hwlc_dr()),
+            0u);
+}
+
+TEST(Ownership, ThreadPoolProducesTransferFps) {
+  // Fig. 11: "the data race detection algorithm reports a warning on the
+  // first write to this data" — the hand-off through the queue is
+  // invisible to the baseline.
+  EXPECT_GT(run_dispatch(sipp::DispatchMode::ThreadPool,
+                         core::HelgrindConfig::hwlc_dr()),
+            0u);
+}
+
+TEST(Ownership, ExtensionRemovesThreadPoolFps) {
+  // §5 future work: "higher level synchronization primitives" — with
+  // queue hand-off edges the pool pattern goes quiet too.
+  EXPECT_EQ(run_dispatch(sipp::DispatchMode::ThreadPool,
+                         core::HelgrindConfig::extended()),
+            0u);
+}
+
+TEST(Ownership, PoolFpsAreOnJobData) {
+  std::vector<std::string> keys;
+  run_dispatch(sipp::DispatchMode::ThreadPool,
+               core::HelgrindConfig::hwlc_dr(), &keys);
+  ASSERT_FALSE(keys.empty());
+  // Re-run with extension: exactly the job-hand-off keys disappear.
+  std::vector<std::string> extended_keys;
+  run_dispatch(sipp::DispatchMode::ThreadPool,
+               core::HelgrindConfig::extended(), &extended_keys);
+  const std::unordered_set<std::string> ext(extended_keys.begin(),
+                                            extended_keys.end());
+  for (const std::string& key : keys) EXPECT_FALSE(ext.contains(key));
+}
+
+TEST(Ownership, BothDispatchersProduceSameResponses) {
+  auto run_responses = [&](sipp::DispatchMode mode) {
+    sipp::ExperimentConfig cfg;
+    cfg.seed = 23;
+    cfg.mode = mode;
+    cfg.faults = FaultConfig::none();
+    const auto scenario = sipp::build_testcase(1, cfg.seed);
+    return run_scenario(scenario, cfg).responses;
+  };
+  EXPECT_EQ(run_responses(sipp::DispatchMode::ThreadPerRequest),
+            run_responses(sipp::DispatchMode::ThreadPool));
+}
+
+TEST(Ownership, DispatcherNamesStable) {
+  ThreadPerRequestDispatcher a(4);
+  ThreadPoolDispatcher b(4);
+  EXPECT_STREQ(a.name(), "thread-per-request");
+  EXPECT_STREQ(b.name(), "thread-pool");
+}
+
+}  // namespace
+}  // namespace rg::sip

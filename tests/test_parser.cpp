@@ -1,0 +1,251 @@
+// SIP wire parser: grammar coverage and serialize/parse round trips.
+#include <gtest/gtest.h>
+
+#include "sip/parser.hpp"
+#include "sipp/scenario.hpp"
+
+namespace rg::sip {
+namespace {
+
+constexpr const char* kInvite =
+    "INVITE sip:bob@example.com SIP/2.0\r\n"
+    "Via: SIP/2.0/UDP client.invalid:5060;branch=z9hG4bK-77\r\n"
+    "Max-Forwards: 70\r\n"
+    "From: \"Alice\" <sip:alice@example.com>;tag=123\r\n"
+    "To: <sip:bob@example.com>\r\n"
+    "Call-ID: call-1@client.invalid\r\n"
+    "CSeq: 314159 INVITE\r\n"
+    "Content-Type: application/sdp\r\n"
+    "Content-Length: 4\r\n"
+    "\r\n"
+    "v=0\n";
+
+TEST(Parser, ParsesRequest) {
+  const ParseResult r = parse_message(kInvite);
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.message->is_request());
+  const auto& req = static_cast<const SipRequest&>(*r.message);
+  EXPECT_EQ(req.method(), Method::Invite);
+  EXPECT_EQ(req.uri(), "sip:bob@example.com");
+  EXPECT_EQ(req.header("call-id").str(), "call-1@client.invalid");
+  EXPECT_EQ(req.body().str(), "v=0\n");  // Content-Length: 4 covers the newline
+}
+
+TEST(Parser, ParsesResponse) {
+  const ParseResult r = parse_message(
+      "SIP/2.0 180 Ringing\r\nTo: <sip:b@c>;tag=9\r\n\r\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_FALSE(r.message->is_request());
+  const auto& resp = static_cast<const SipResponse&>(*r.message);
+  EXPECT_EQ(resp.status(), 180);
+  EXPECT_EQ(resp.reason(), "Ringing");
+}
+
+TEST(Parser, LfOnlyLineEndings) {
+  const ParseResult r = parse_message(
+      "OPTIONS sip:x SIP/2.0\nVia: v;branch=z9hG4bK-1\nFrom: <sip:a@b>\n"
+      "To: <sip:a@b>\nCall-ID: c\nCSeq: 1 OPTIONS\n\n");
+  EXPECT_TRUE(r.ok()) << r.error;
+}
+
+TEST(Parser, HeaderFolding) {
+  const ParseResult r = parse_message(
+      "INVITE sip:x@y SIP/2.0\r\n"
+      "Via: SIP/2.0/UDP h;branch=z9hG4bK-1\r\n"
+      "From: <sip:a@b>\r\nTo: <sip:x@y>\r\nCall-ID: c\r\nCSeq: 1 INVITE\r\n"
+      "Subject: first part\r\n continued here\r\n\tand more\r\n"
+      "\r\n");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.message->header("subject").str(),
+            "first part continued here and more");
+}
+
+TEST(Parser, MissingMandatoryHeaderRejected) {
+  const ParseResult r = parse_message(
+      "INVITE sip:x@y SIP/2.0\r\nVia: v;branch=z9hG4bK-1\r\n\r\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("mandatory"), std::string::npos);
+}
+
+TEST(Parser, MalformedStartLinesRejected) {
+  EXPECT_FALSE(parse_message("").ok());
+  EXPECT_FALSE(parse_message("\r\n\r\n").ok());
+  EXPECT_FALSE(parse_message("GARBAGE\r\n\r\n").ok());
+  EXPECT_FALSE(parse_message("SIP/2.0 xyz Bad\r\n\r\n").ok());
+  EXPECT_FALSE(parse_message("SIP/2.0 42 TooLow\r\n\r\n").ok());
+  EXPECT_FALSE(
+      parse_message("INVITE sip:x HTTP/1.1\r\nVia: v\r\n\r\n").ok());
+}
+
+TEST(Parser, BadHeaderLineRejected) {
+  const ParseResult r = parse_message(
+      "INVITE sip:x@y SIP/2.0\r\nthis line has no colon\r\n\r\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, BadContentLengthRejected) {
+  const ParseResult r = parse_message(
+      "INVITE sip:x@y SIP/2.0\r\nContent-Length: banana\r\n\r\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, TruncatedBodyRejected) {
+  const ParseResult r = parse_message(
+      "SIP/2.0 200 OK\r\nContent-Length: 100\r\n\r\nshort");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.error.find("truncated"), std::string::npos);
+}
+
+TEST(Parser, BodyHonoursContentLength) {
+  const ParseResult r = parse_message(
+      "SIP/2.0 200 OK\r\nContent-Length: 3\r\n\r\nabcdef");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.message->body().str(), "abc");
+}
+
+// --- URI grammar ----------------------------------------------------------------
+
+TEST(Uri, BasicForms) {
+  const SipUri u = parse_uri("sip:alice@example.com");
+  ASSERT_TRUE(u.valid);
+  EXPECT_EQ(u.scheme, "sip");
+  EXPECT_EQ(u.user, "alice");
+  EXPECT_EQ(u.host, "example.com");
+  EXPECT_EQ(u.port, 5060);
+  EXPECT_EQ(u.aor(), "alice@example.com");
+}
+
+TEST(Uri, PortAndParams) {
+  const SipUri u = parse_uri("sips:bob@host.net:5071;transport=tcp;lr");
+  ASSERT_TRUE(u.valid);
+  EXPECT_EQ(u.scheme, "sips");
+  EXPECT_EQ(u.port, 5071);
+  EXPECT_EQ(u.params, "transport=tcp;lr");
+}
+
+TEST(Uri, NoUser) {
+  const SipUri u = parse_uri("sip:registrar.example.com");
+  ASSERT_TRUE(u.valid);
+  EXPECT_TRUE(u.user.empty());
+  EXPECT_EQ(u.host, "registrar.example.com");
+}
+
+TEST(Uri, PasswordDropped) {
+  const SipUri u = parse_uri("sip:carol:secret@example.org");
+  ASSERT_TRUE(u.valid);
+  EXPECT_EQ(u.user, "carol");
+}
+
+TEST(Uri, Invalid) {
+  EXPECT_FALSE(parse_uri("http://example.com").valid);
+  EXPECT_FALSE(parse_uri("sip:").valid);
+  EXPECT_FALSE(parse_uri("sip:user@host:99999").valid);
+  EXPECT_FALSE(parse_uri("sip:user@host:0").valid);
+  EXPECT_FALSE(parse_uri("").valid);
+}
+
+TEST(Uri, NameAddrForms) {
+  EXPECT_EQ(parse_name_addr("\"Bob\" <sip:bob@b.com>;tag=x").aor(),
+            "bob@b.com");
+  EXPECT_EQ(parse_name_addr("<sip:a@b>").aor(), "a@b");
+  EXPECT_EQ(parse_name_addr("sip:plain@addr;tag=1").aor(), "plain@addr");
+  EXPECT_FALSE(parse_name_addr("\"Broken <sip:x@y").valid);
+}
+
+TEST(Uri, HeaderTag) {
+  EXPECT_EQ(header_tag("<sip:a@b>;tag=abc"), "abc");
+  EXPECT_EQ(header_tag("\"N\" <sip:a@b>;x=1;tag=zz"), "zz");
+  EXPECT_EQ(header_tag("<sip:a@b>"), "");
+  EXPECT_EQ(header_tag("sip:a@b;tag=direct"), "direct");
+}
+
+TEST(CSeqGrammar, Parse) {
+  const CSeq c = parse_cseq("314159 INVITE");
+  ASSERT_TRUE(c.valid);
+  EXPECT_EQ(c.seq, 314159u);
+  EXPECT_EQ(c.method, Method::Invite);
+  EXPECT_FALSE(parse_cseq("xyz INVITE").valid);
+  EXPECT_FALSE(parse_cseq("1 NOTAMETHOD").valid);
+  EXPECT_FALSE(parse_cseq("").valid);
+}
+
+TEST(ViaGrammar, BranchExtraction) {
+  EXPECT_EQ(via_branch("SIP/2.0/UDP h:5060;branch=z9hG4bK-abc;rport"),
+            "z9hG4bK-abc");
+  EXPECT_EQ(via_branch("SIP/2.0/UDP h:5060"), "");
+  EXPECT_EQ(via_branch("SIP/2.0/UDP h;Branch=case"), "case");
+}
+
+// --- round trips -----------------------------------------------------------------
+
+TEST(RoundTrip, SerializeThenParse) {
+  rt::Sim sim;
+  sim.run([&] {
+    SipRequest req(Method::Register, "sip:example.com");
+    req.add_header("via", cow_string("SIP/2.0/UDP c;branch=z9hG4bK-1"));
+    req.add_header("from", cow_string("<sip:u@example.com>;tag=t"));
+    req.add_header("to", cow_string("<sip:u@example.com>"));
+    req.add_header("call-id", cow_string("cid"));
+    req.add_header("cseq", cow_string("7 REGISTER"));
+    req.set_body(cow_string("payload"));
+    const ParseResult r = parse_message(req.serialize());
+    ASSERT_TRUE(r.ok()) << r.error;
+    const auto& back = static_cast<const SipRequest&>(*r.message);
+    EXPECT_EQ(back.method(), Method::Register);
+    EXPECT_EQ(back.header("cseq").str(), "7 REGISTER");
+    EXPECT_EQ(back.body().str(), "payload");
+    // Idempotence of the wire form.
+    EXPECT_EQ(back.serialize(), req.serialize());
+  });
+}
+
+/// Property sweep: every message the SIPp factory produces must parse (or
+/// be deliberate garbage).
+class FactoryRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactoryRoundTrip, GeneratedMessagesParse) {
+  sipp::MessageFactory mf;
+  const int i = GetParam();
+  const std::string user = "user" + std::to_string(i);
+  const std::string peer = "peer" + std::to_string(i);
+  const std::string call = "call-" + std::to_string(i);
+  for (const std::string& wire :
+       {mf.register_request(user, call, 1),
+        mf.invite(user, peer, call, 1),
+        mf.ack(user, peer, call, 1),
+        mf.bye(user, peer, call, 2),
+        mf.cancel(user, peer, call, 1),
+        mf.options(user, call, 1),
+        mf.info(user, peer, call, 3, "Signal=1\r\n"),
+        mf.unknown_method(user, call, 1)}) {
+    const ParseResult r = parse_message(wire);
+    EXPECT_TRUE(r.ok()) << r.error << "\n" << wire;
+    if (r.ok() && r.message->is_request()) {
+      const auto& req = static_cast<const SipRequest&>(*r.message);
+      const std::string branch = via_branch(req.header("via").str());
+      EXPECT_FALSE(branch.empty()) << wire;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mix, FactoryRoundTrip, ::testing::Range(0, 8));
+
+TEST(Factory, AckSharesInviteBranch) {
+  sipp::MessageFactory mf;
+  const auto invite = parse_message(mf.invite("a", "b", "c1", 1));
+  const auto ack = parse_message(mf.ack("a", "b", "c1", 1));
+  ASSERT_TRUE(invite.ok() && ack.ok());
+  EXPECT_EQ(via_branch(invite.message->header("via").str()),
+            via_branch(ack.message->header("via").str()));
+}
+
+TEST(Factory, GarbageVariantsDoNotParseAsValidSip) {
+  sipp::MessageFactory mf;
+  for (int v = 0; v < 5; ++v) {
+    const ParseResult r = parse_message(mf.garbage(v));
+    EXPECT_FALSE(r.ok()) << "variant " << v;
+  }
+}
+
+}  // namespace
+}  // namespace rg::sip

@@ -1,0 +1,217 @@
+// Runtime core: registries, event fan-out, allocation origins, shadow
+// stacks.
+#include <gtest/gtest.h>
+
+#include "detector_harness.hpp"
+#include "rt/runtime.hpp"
+
+namespace rg::rt {
+namespace {
+
+class CountingTool : public Tool {
+ public:
+  int starts = 0, exits = 0, joins = 0;
+  int lock_creates = 0, accesses = 0, allocs = 0, frees = 0, destructs = 0;
+  int finishes = 0;
+  MemoryAccess last_access;
+
+  void on_thread_start(ThreadId, ThreadId, support::SiteId) override {
+    ++starts;
+  }
+  void on_thread_exit(ThreadId) override { ++exits; }
+  void on_thread_join(ThreadId, ThreadId, support::SiteId) override {
+    ++joins;
+  }
+  void on_lock_create(LockId, support::Symbol, bool) override {
+    ++lock_creates;
+  }
+  void on_access(const MemoryAccess& a) override {
+    ++accesses;
+    last_access = a;
+  }
+  void on_alloc(ThreadId, Addr, std::uint32_t, support::SiteId) override {
+    ++allocs;
+  }
+  void on_free(ThreadId, Addr, std::uint32_t, support::SiteId) override {
+    ++frees;
+  }
+  void on_destruct_annotation(ThreadId, Addr, std::uint32_t,
+                              support::SiteId) override {
+    ++destructs;
+  }
+  void on_finish() override { ++finishes; }
+};
+
+TEST(Runtime, DispatchesToAllTools) {
+  Runtime rt;
+  CountingTool a, b;
+  rt.attach(a);
+  rt.attach(b);
+  const ThreadId t = rt.register_thread("main", kNoThread, 0);
+  rt.access({t, 0x1000, 4, AccessKind::Write, false, 0});
+  EXPECT_EQ(a.starts, 1);
+  EXPECT_EQ(b.starts, 1);
+  EXPECT_EQ(a.accesses, 1);
+  EXPECT_EQ(b.accesses, 1);
+}
+
+TEST(Runtime, ThreadRegistryNamesAndLiveness) {
+  Runtime rt;
+  const ThreadId main = rt.register_thread("main", kNoThread, 0);
+  const ThreadId worker = rt.register_thread("worker", main, 0);
+  EXPECT_EQ(rt.thread_name(main), "main");
+  EXPECT_EQ(rt.thread_name(worker), "worker");
+  EXPECT_TRUE(rt.thread_alive(worker));
+  rt.thread_exited(worker);
+  EXPECT_FALSE(rt.thread_alive(worker));
+}
+
+TEST(Runtime, DenseThreadIds) {
+  Runtime rt;
+  EXPECT_EQ(rt.register_thread("t0", kNoThread, 0), 0u);
+  EXPECT_EQ(rt.register_thread("t1", 0, 0), 1u);
+  EXPECT_EQ(rt.register_thread("t2", 0, 0), 2u);
+}
+
+TEST(Runtime, HeldLockModesAndCounts) {
+  Runtime rt;
+  const ThreadId t = rt.register_thread("main", kNoThread, 0);
+  const LockId rw = rt.register_lock("rw", true);
+  rt.post_lock(t, rw, LockMode::Shared, 0);
+  ASSERT_EQ(rt.held_locks(t).size(), 1u);
+  EXPECT_EQ(rt.held_locks(t)[0].mode, LockMode::Shared);
+  // Recursive shared acquisition: count goes up, entry stays single.
+  rt.post_lock(t, rw, LockMode::Shared, 0);
+  ASSERT_EQ(rt.held_locks(t).size(), 1u);
+  EXPECT_EQ(rt.held_locks(t)[0].count, 2u);
+  rt.unlock(t, rw, 0);
+  ASSERT_EQ(rt.held_locks(t).size(), 1u);
+  rt.unlock(t, rw, 0);
+  EXPECT_TRUE(rt.held_locks(t).empty());
+}
+
+TEST(Runtime, LockNames) {
+  Runtime rt;
+  const LockId l = rt.register_lock("registrar-mutex", false);
+  EXPECT_EQ(rt.lock_name(l), "registrar-mutex");
+}
+
+TEST(Runtime, AllocOriginLookup) {
+  Runtime rt;
+  const ThreadId t = rt.register_thread("main", kNoThread, 0);
+  const auto site = support::site_id("maker", "alloc.cpp", 5);
+  rt.alloc(t, 0x5000, 64, site);
+
+  const AddrOrigin exact = rt.origin_of(0x5000);
+  ASSERT_TRUE(exact.known);
+  EXPECT_EQ(exact.offset, 0u);
+  EXPECT_EQ(exact.alloc.size, 64u);
+
+  const AddrOrigin inside = rt.origin_of(0x5008);
+  ASSERT_TRUE(inside.known);
+  EXPECT_EQ(inside.offset, 8u);
+  EXPECT_NE(inside.describe().find("8 bytes inside a block of size 64"),
+            std::string::npos);
+
+  EXPECT_FALSE(rt.origin_of(0x5040).known);  // one past the end
+  EXPECT_FALSE(rt.origin_of(0x4fff).known);
+}
+
+TEST(Runtime, FreedAllocStillDescribable) {
+  Runtime rt;
+  const ThreadId t = rt.register_thread("main", kNoThread, 0);
+  rt.alloc(t, 0x7000, 32, 0);
+  rt.free(t, 0x7000, 0);
+  // Reports on stale addresses still resolve to the most recent block.
+  const AddrOrigin origin = rt.origin_of(0x7010);
+  EXPECT_TRUE(origin.known);
+  EXPECT_EQ(origin.offset, 16u);
+}
+
+TEST(Runtime, OverlappingRealloc) {
+  Runtime rt;
+  const ThreadId t = rt.register_thread("main", kNoThread, 0);
+  rt.alloc(t, 0x9000, 16, 0);
+  rt.free(t, 0x9000, 0);
+  const auto site2 = support::site_id("second", "alloc.cpp", 9);
+  rt.alloc(t, 0x9000, 16, site2);
+  const AddrOrigin origin = rt.origin_of(0x9004);
+  ASSERT_TRUE(origin.known);
+  EXPECT_EQ(origin.alloc.site, site2);  // live block wins over dead one
+}
+
+TEST(Runtime, ShadowStacks) {
+  Runtime rt;
+  const ThreadId t = rt.register_thread("main", kNoThread, 0);
+  const auto f1 = support::site_id("outer", "s.cpp", 1);
+  const auto f2 = support::site_id("inner", "s.cpp", 2);
+  rt.push_frame(t, f1);
+  rt.push_frame(t, f2);
+  const auto stack = rt.stack_of(t);
+  ASSERT_EQ(stack.size(), 2u);
+  EXPECT_EQ(stack[0], f2);  // innermost first
+  EXPECT_EQ(stack[1], f1);
+  rt.pop_frame(t);
+  EXPECT_EQ(rt.stack_of(t).size(), 1u);
+}
+
+TEST(Runtime, PerThreadStacksAreIndependent) {
+  Runtime rt;
+  const ThreadId a = rt.register_thread("a", kNoThread, 0);
+  const ThreadId b = rt.register_thread("b", a, 0);
+  rt.push_frame(a, support::site_id("fa", "s.cpp", 1));
+  rt.push_frame(b, support::site_id("fb", "s.cpp", 2));
+  EXPECT_EQ(rt.stack_of(a).size(), 1u);
+  EXPECT_EQ(rt.stack_of(b).size(), 1u);
+  EXPECT_NE(rt.stack_of(a)[0], rt.stack_of(b)[0]);
+}
+
+TEST(Runtime, EventCounters) {
+  Runtime rt;
+  const ThreadId t = rt.register_thread("main", kNoThread, 0);
+  const LockId l = rt.register_lock("l", false);
+  rt.pre_lock(t, l, LockMode::Exclusive, 0);
+  rt.post_lock(t, l, LockMode::Exclusive, 0);
+  rt.unlock(t, l, 0);
+  rt.access({t, 0x100, 1, AccessKind::Read, false, 0});
+  EXPECT_EQ(rt.access_events(), 1u);
+  EXPECT_GE(rt.sync_events(), 1u);
+}
+
+TEST(Runtime, FinishNotifiesTools) {
+  Runtime rt;
+  CountingTool tool;
+  rt.attach(tool);
+  rt.finish();
+  EXPECT_EQ(tool.finishes, 1);
+}
+
+TEST(Runtime, DestructAnnotationFansOut) {
+  Runtime rt;
+  CountingTool tool;
+  rt.attach(tool);
+  const ThreadId t = rt.register_thread("main", kNoThread, 0);
+  rt.destruct_annotation(t, 0x100, 24, 0);
+  EXPECT_EQ(tool.destructs, 1);
+}
+
+TEST(EventHarnessTest, ConvenienceWrappers) {
+  test::EventHarness h;
+  CountingTool tool;
+  h.attach(tool);
+  const ThreadId main = h.thread("main");
+  const ThreadId worker = h.thread("worker");
+  const LockId l = h.lock("m");
+  h.acquire(worker, l);
+  h.write(worker, 0x100);
+  h.release(worker, l);
+  h.join(main, worker);
+  EXPECT_EQ(tool.starts, 2);
+  EXPECT_EQ(tool.joins, 1);
+  EXPECT_EQ(tool.accesses, 1);
+  EXPECT_EQ(tool.last_access.thread, worker);
+  EXPECT_EQ(tool.last_access.kind, AccessKind::Write);
+}
+
+}  // namespace
+}  // namespace rg::rt

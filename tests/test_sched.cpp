@@ -1,0 +1,439 @@
+// Scheduler semantics: determinism, strategies, blocking, virtual time,
+// deadlock detection, abort paths.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/memory.hpp"
+#include "rt/sim.hpp"
+#include "rt/sync.hpp"
+#include "rt/thread.hpp"
+
+namespace rg::rt {
+namespace {
+
+TEST(Sim, RunsEntryToCompletion) {
+  Sim sim;
+  bool ran = false;
+  const SimResult r = sim.run([&] { ran = true; });
+  EXPECT_TRUE(ran);
+  EXPECT_TRUE(r.completed());
+  EXPECT_EQ(r.outcome, SimOutcome::Completed);
+}
+
+TEST(Sim, MainThreadIsZero) {
+  Sim sim;
+  sim.run([&] { EXPECT_EQ(Sim::current_thread(), kMainThread); });
+}
+
+TEST(Sim, CurrentIsNullOutside) { EXPECT_EQ(Sim::current(), nullptr); }
+
+TEST(Sim, CurrentIsSetInside) {
+  Sim sim;
+  sim.run([&] { EXPECT_EQ(Sim::current(), &sim); });
+  EXPECT_EQ(Sim::current(), nullptr);
+}
+
+TEST(Sim, ThreadsGetDistinctIds) {
+  Sim sim;
+  sim.run([&] {
+    std::vector<ThreadId> ids;
+    tracked<int> dummy;
+    thread a([&] { ids.push_back(Sim::current_thread()); }, "a");
+    a.join();
+    thread b([&] { ids.push_back(Sim::current_thread()); }, "b");
+    b.join();
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_NE(ids[0], ids[1]);
+    EXPECT_NE(ids[0], kMainThread);
+  });
+}
+
+TEST(Sim, JoinWaitsForChild) {
+  Sim sim;
+  sim.run([&] {
+    int value = 0;
+    thread child([&] {
+      for (int i = 0; i < 100; ++i) yield();
+      value = 42;
+    });
+    child.join();
+    EXPECT_EQ(value, 42);
+  });
+}
+
+TEST(Sim, DestructorJoins) {
+  Sim sim;
+  int value = 0;
+  sim.run([&] {
+    {
+      thread child([&] { value = 7; });
+      // no explicit join: the destructor must join
+    }
+    EXPECT_EQ(value, 7);
+  });
+}
+
+TEST(Sim, DetachedThreadsDrainAtEnd) {
+  Sim sim;
+  int value = 0;
+  const SimResult r = sim.run([&] {
+    thread child([&] {
+      for (int i = 0; i < 10; ++i) yield();
+      value = 1;
+    });
+    child.detach();
+  });
+  EXPECT_TRUE(r.completed());
+  EXPECT_EQ(value, 1);
+}
+
+TEST(Sim, ClientExceptionIsReported) {
+  Sim sim;
+  const SimResult r = sim.run(
+      [&] { throw std::runtime_error("boom in client"); });
+  EXPECT_EQ(r.outcome, SimOutcome::ClientError);
+  EXPECT_NE(r.error.find("boom"), std::string::npos);
+}
+
+TEST(Sim, WorkerExceptionIsReported) {
+  Sim sim;
+  const SimResult r = sim.run([&] {
+    thread child([] { throw std::runtime_error("worker died"); });
+    child.join();
+  });
+  EXPECT_EQ(r.outcome, SimOutcome::ClientError);
+}
+
+// --- determinism -----------------------------------------------------------------
+
+std::vector<int> interleaving_trace(std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.sched.seed = seed;
+  Sim sim(cfg);
+  std::vector<int> trace;
+  sim.run([&] {
+    tracked<int> cell;
+    thread a([&] {
+      for (int i = 0; i < 25; ++i) {
+        cell.store(1);
+        trace.push_back(1);
+      }
+    });
+    thread b([&] {
+      for (int i = 0; i < 25; ++i) {
+        cell.store(2);
+        trace.push_back(2);
+      }
+    });
+    a.join();
+    b.join();
+  });
+  return trace;
+}
+
+class SchedDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedDeterminism, SameSeedSameInterleaving) {
+  EXPECT_EQ(interleaving_trace(GetParam()), interleaving_trace(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedDeterminism,
+                         ::testing::Values(1, 2, 3, 17, 1000));
+
+TEST(SchedDeterminismCross, DifferentSeedsUsuallyDiffer) {
+  int distinct = 0;
+  const auto base = interleaving_trace(1);
+  for (std::uint64_t seed = 2; seed <= 6; ++seed)
+    if (interleaving_trace(seed) != base) ++distinct;
+  EXPECT_GE(distinct, 3);
+}
+
+TEST(SchedStrategyTest, RoundRobinAlternates) {
+  SimConfig cfg;
+  cfg.sched.strategy = SchedStrategy::RoundRobin;
+  cfg.sched.switch_period = 1;
+  Sim sim(cfg);
+  std::vector<int> trace;
+  sim.run([&] {
+    tracked<int> cell;
+    thread a([&] {
+      for (int i = 0; i < 10; ++i) {
+        cell.store(1);
+        trace.push_back(1);
+      }
+    });
+    thread b([&] {
+      for (int i = 0; i < 10; ++i) {
+        cell.store(2);
+        trace.push_back(2);
+      }
+    });
+    a.join();
+    b.join();
+  });
+  // With period-1 round robin the two workers strictly alternate once both
+  // are running.
+  int alternations = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    if (trace[i] != trace[i - 1]) ++alternations;
+  EXPECT_GE(alternations, 8);
+}
+
+TEST(SchedStrategyTest, ZeroSwitchProbabilityRunsToBlocking) {
+  // With probability 0 the scheduler never preempts voluntarily; threads
+  // still hand over when they block or finish, so the run completes.
+  SimConfig cfg;
+  cfg.sched.strategy = SchedStrategy::Random;
+  cfg.sched.switch_probability = 0.0;
+  Sim sim(cfg);
+  std::vector<int> trace;
+  sim.run([&] {
+    tracked<int> cell;
+    thread a([&] {
+      for (int i = 0; i < 5; ++i) {
+        cell.store(1);
+        trace.push_back(1);
+      }
+    });
+    thread b([&] {
+      for (int i = 0; i < 5; ++i) {
+        cell.store(2);
+        trace.push_back(2);
+      }
+    });
+    a.join();
+    b.join();
+  });
+  ASSERT_EQ(trace.size(), 10u);
+  // No voluntary preemption: each worker's ops are contiguous.
+  int switches = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    if (trace[i] != trace[i - 1]) ++switches;
+  EXPECT_EQ(switches, 1);
+}
+
+TEST(SchedStrategyTest, CertainSwitchProbabilityStillCompletes) {
+  SimConfig cfg;
+  cfg.sched.strategy = SchedStrategy::Random;
+  cfg.sched.switch_probability = 1.0;
+  Sim sim(cfg);
+  const SimResult r = sim.run([&] {
+    tracked<int> cell;
+    thread a([&] {
+      for (int i = 0; i < 20; ++i) cell.store(1);
+    });
+    thread b([&] {
+      for (int i = 0; i < 20; ++i) cell.store(2);
+    });
+    a.join();
+    b.join();
+  });
+  EXPECT_TRUE(r.completed());
+}
+
+TEST(SchedStrategyTest, RoundRobinLongPeriodBatchesWork) {
+  SimConfig cfg;
+  cfg.sched.strategy = SchedStrategy::RoundRobin;
+  cfg.sched.switch_period = 10;
+  Sim sim(cfg);
+  std::vector<int> trace;
+  sim.run([&] {
+    tracked<int> cell;
+    thread a([&] {
+      for (int i = 0; i < 20; ++i) {
+        cell.store(1);
+        trace.push_back(1);
+      }
+    });
+    thread b([&] {
+      for (int i = 0; i < 20; ++i) {
+        cell.store(2);
+        trace.push_back(2);
+      }
+    });
+    a.join();
+    b.join();
+  });
+  // Runs of >= 5 consecutive ops per thread exist (period amortisation).
+  int longest = 1, current = 1;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    current = trace[i] == trace[i - 1] ? current + 1 : 1;
+    longest = std::max(longest, current);
+  }
+  EXPECT_GE(longest, 5);
+}
+
+// --- virtual time --------------------------------------------------------------
+
+TEST(VirtualTime, SleepAdvancesClock) {
+  Sim sim;
+  const SimResult r = sim.run([&] {
+    const std::uint64_t before = Sim::current()->sched().virtual_time();
+    sleep_ticks(1000);
+    const std::uint64_t after = Sim::current()->sched().virtual_time();
+    EXPECT_GE(after - before, 1000u);
+  });
+  EXPECT_GE(r.virtual_time, 1000u);
+}
+
+TEST(VirtualTime, SleepersWakeInOrder) {
+  Sim sim;
+  std::vector<int> order;
+  sim.run([&] {
+    tracked<int> cell;
+    thread slow([&] {
+      sleep_ticks(5000);
+      order.push_back(2);
+    });
+    thread fast([&] {
+      sleep_ticks(100);
+      order.push_back(1);
+    });
+    fast.join();
+    slow.join();
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(VirtualTime, AllAsleepJumpsForward) {
+  Sim sim;
+  const SimResult r = sim.run([&] { sleep_ticks(1'000'000); });
+  EXPECT_TRUE(r.completed());
+  EXPECT_GE(r.virtual_time, 1'000'000u);
+  // Far fewer steps than ticks: the clock jumped.
+  EXPECT_LT(r.steps, 10'000u);
+}
+
+// --- deadlock detection -----------------------------------------------------------
+
+TEST(DeadlockDetection, CircularMutexWait) {
+  Sim sim;
+  const SimResult r = sim.run([&] {
+    mutex m1("m1"), m2("m2");
+    semaphore s1(0, "s1"), s2(0, "s2");
+    thread a([&] {
+      m1.lock();
+      s1.post();
+      s2.wait();
+      m2.lock();  // blocks forever
+      m2.unlock();
+      m1.unlock();
+    });
+    thread b([&] {
+      m2.lock();
+      s2.post();
+      s1.wait();
+      m1.lock();  // blocks forever
+      m1.unlock();
+      m2.unlock();
+    });
+    a.join();
+    b.join();
+  });
+  EXPECT_TRUE(r.deadlocked());
+  EXPECT_GE(r.deadlock.blocked.size(), 2u);
+  const std::string desc = r.deadlock.describe();
+  EXPECT_NE(desc.find("m1"), std::string::npos);
+  EXPECT_NE(desc.find("m2"), std::string::npos);
+}
+
+TEST(DeadlockDetection, SelfDeadlockOnCondvar) {
+  Sim sim;
+  const SimResult r = sim.run([&] {
+    mutex m("m");
+    condition_variable cv("never-signalled");
+    m.lock();
+    cv.wait(m);  // nobody will ever signal
+    m.unlock();
+  });
+  EXPECT_TRUE(r.deadlocked());
+}
+
+TEST(DeadlockDetection, LeakedLockBlocksJoiner) {
+  Sim sim;
+  const SimResult r = sim.run([&] {
+    mutex m("leaked");
+    thread a([&] { m.lock(); /* exits holding the lock */ });
+    a.join();
+    m.lock();  // can never be acquired
+    m.unlock();
+  });
+  EXPECT_TRUE(r.deadlocked());
+}
+
+TEST(StepLimit, RunawayLoopAborts) {
+  SimConfig cfg;
+  cfg.sched.max_steps = 2000;
+  Sim sim(cfg);
+  const SimResult r = sim.run([&] {
+    tracked<int> cell;
+    for (;;) cell.store(1);
+  });
+  EXPECT_EQ(r.outcome, SimOutcome::StepLimit);
+}
+
+TEST(Teardown, RaiiUnwindsCleanly) {
+  // A deadlock must unwind lock_guards and queue users without crashing
+  // or re-raising into std::terminate.
+  SimConfig cfg;
+  cfg.sched.max_steps = 50'000;
+  Sim sim(cfg);
+  const SimResult r = sim.run([&] {
+    mutex m1("a"), m2("b");
+    semaphore s1(0, "s1"), s2(0, "s2");
+    thread t1([&] {
+      lock_guard g1(m1);
+      s1.post();
+      s2.wait();
+      lock_guard g2(m2);
+    });
+    thread t2([&] {
+      lock_guard g2(m2);
+      s2.post();
+      s1.wait();
+      lock_guard g1(m1);
+    });
+    t1.join();
+    t2.join();
+  });
+  EXPECT_TRUE(r.deadlocked());
+}
+
+TEST(Sim, StepAndEventCountsPopulated) {
+  Sim sim;
+  const SimResult r = sim.run([&] {
+    tracked<int> x;
+    for (int i = 0; i < 10; ++i) x.store(i);
+    mutex m("m");
+    m.lock();
+    m.unlock();
+  });
+  EXPECT_GE(r.access_events, 10u);
+  EXPECT_GE(r.sync_events, 2u);
+  EXPECT_GE(r.steps, r.access_events);
+}
+
+TEST(Sim, ManyThreads) {
+  Sim sim;
+  const SimResult r = sim.run([&] {
+    tracked<int> cell;
+    mutex m("m");
+    std::vector<thread> threads;
+    for (int i = 0; i < 24; ++i)
+      threads.emplace_back([&] {
+        for (int k = 0; k < 5; ++k) {
+          lock_guard g(m);
+          cell.store(cell.load() + 1);
+        }
+      });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(cell.load(), 120);
+  });
+  EXPECT_TRUE(r.completed());
+}
+
+}  // namespace
+}  // namespace rg::rt

@@ -1,0 +1,106 @@
+// Shadow memory map: granularity, ranges, reset.
+#include <gtest/gtest.h>
+
+#include "shadow/shadow_map.hpp"
+
+namespace rg::shadow {
+namespace {
+
+struct State {
+  int value = 0;
+};
+
+TEST(ShadowMap, DefaultConstructedOnFirstTouch) {
+  ShadowMap<State> map;
+  EXPECT_EQ(map.find(0x1000), nullptr);
+  EXPECT_EQ(map.at(0x1000).value, 0);
+  ASSERT_NE(map.find(0x1000), nullptr);
+}
+
+TEST(ShadowMap, GranuleSharing) {
+  ShadowMap<State> map;
+  map.at(0x1000).value = 7;
+  // Same 8-byte granule:
+  EXPECT_EQ(map.at(0x1007).value, 7);
+  // Next granule:
+  EXPECT_EQ(map.at(0x1008).value, 0);
+}
+
+TEST(ShadowMap, GranuleMath) {
+  EXPECT_EQ(granule_of(0x0), granule_of(0x7));
+  EXPECT_NE(granule_of(0x7), granule_of(0x8));
+  EXPECT_EQ(granule_base(granule_of(0x1234)), 0x1230u);
+}
+
+TEST(ShadowMap, ForRangeCoversSpanningAccess) {
+  ShadowMap<State> map;
+  int touched = 0;
+  map.for_range(0x1006, 4, [&](State& s) {
+    ++touched;
+    s.value = 1;
+  });
+  EXPECT_EQ(touched, 2);  // crosses a granule boundary
+  EXPECT_EQ(map.at(0x1000).value, 1);
+  EXPECT_EQ(map.at(0x1008).value, 1);
+}
+
+TEST(ShadowMap, ZeroSizeTouchesOneGranule) {
+  ShadowMap<State> map;
+  int touched = 0;
+  map.for_range(0x2000, 0, [&](State&) { ++touched; });
+  EXPECT_EQ(touched, 1);
+}
+
+TEST(ShadowMap, LargeRange) {
+  ShadowMap<State> map;
+  int touched = 0;
+  map.for_range(0x3000, 64, [&](State&) { ++touched; });
+  EXPECT_EQ(touched, 8);
+}
+
+TEST(ShadowMap, ResetRange) {
+  ShadowMap<State> map;
+  map.at(0x4000).value = 9;
+  map.at(0x4008).value = 9;
+  map.at(0x4010).value = 9;
+  map.reset_range(0x4000, 16);
+  EXPECT_EQ(map.at(0x4000).value, 0);
+  EXPECT_EQ(map.at(0x4008).value, 0);
+  EXPECT_EQ(map.at(0x4010).value, 9);  // outside the range
+}
+
+TEST(ShadowMap, PagesAllocatedLazily) {
+  ShadowMap<State> map;
+  EXPECT_EQ(map.page_count(), 0u);
+  map.at(0x10000);
+  EXPECT_EQ(map.page_count(), 1u);
+  map.at(0x10008);  // same page
+  EXPECT_EQ(map.page_count(), 1u);
+  map.at(0x20000);  // different page
+  EXPECT_EQ(map.page_count(), 2u);
+}
+
+TEST(ShadowMap, CrossPageRange) {
+  ShadowMap<State> map;
+  // Range straddling a 4 KiB page boundary.
+  int touched = 0;
+  map.for_range(0xFF8, 16, [&](State& s) {
+    ++touched;
+    s.value = 3;
+  });
+  EXPECT_EQ(touched, 2);
+  EXPECT_EQ(map.at(0xFF8).value, 3);
+  EXPECT_EQ(map.at(0x1000).value, 3);
+  EXPECT_EQ(map.page_count(), 2u);
+}
+
+TEST(ShadowMap, HighAddresses) {
+  ShadowMap<State> map;
+  const rt::Addr high = 0x7fff'ffff'f000ULL;
+  map.at(high).value = 5;
+  EXPECT_EQ(map.at(high + 4).value, 5);
+  EXPECT_EQ(map.at(high + 8).value, 0);
+}
+
+}  // namespace
+}  // namespace rg::shadow

@@ -1,0 +1,467 @@
+// SIP proxy subsystems: registrar, domain data, transactions, dialogs,
+// stats, audit/pool, watchdog, time utilities.
+#include <gtest/gtest.h>
+
+#include "rt/sim.hpp"
+#include "rt/thread.hpp"
+#include "sip/audit.hpp"
+#include "sip/deadlock_monitor.hpp"
+#include "sip/dialog.hpp"
+#include "sip/domain_data.hpp"
+#include "sip/pool_alloc.hpp"
+#include "sip/registrar.hpp"
+#include "sip/stats.hpp"
+#include "sip/time_utils.hpp"
+#include "sip/transaction.hpp"
+
+namespace rg::sip {
+namespace {
+
+// --- registrar ---------------------------------------------------------------
+
+TEST(RegistrarTest, RegisterAndLookup) {
+  rt::Sim sim;
+  sim.run([&] {
+    Registrar reg;
+    const auto contacts =
+        reg.register_binding("alice@example.com", "<sip:alice@pc1>", 1000);
+    ASSERT_EQ(contacts.size(), 1u);
+    EXPECT_EQ(contacts[0].str(), "<sip:alice@pc1>");
+    EXPECT_EQ(reg.lookup("alice@example.com").str(), "<sip:alice@pc1>");
+    EXPECT_TRUE(reg.lookup("nobody@example.com").empty());
+    EXPECT_EQ(reg.size(), 1u);
+  });
+}
+
+TEST(RegistrarTest, RefreshKeepsOneBinding) {
+  rt::Sim sim;
+  sim.run([&] {
+    Registrar reg;
+    reg.register_binding("a@d", "<sip:a@h1>", 100);
+    reg.register_binding("a@d", "<sip:a@h1>", 2000);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg.expire(500), 0u);  // refreshed past 500
+    EXPECT_EQ(reg.size(), 1u);
+  });
+}
+
+TEST(RegistrarTest, ExpireRemovesOldBindings) {
+  rt::Sim sim;
+  sim.run([&] {
+    Registrar reg;
+    reg.register_binding("a@d", "<sip:a>", 100);
+    reg.register_binding("b@d", "<sip:b>", 900);
+    EXPECT_EQ(reg.expire(500), 1u);
+    EXPECT_TRUE(reg.lookup("a@d").empty());
+    EXPECT_FALSE(reg.lookup("b@d").empty());
+  });
+}
+
+TEST(RegistrarTest, ClearEmptiesEverything) {
+  rt::Sim sim;
+  sim.run([&] {
+    Registrar reg;
+    reg.register_binding("a@d", "<sip:a>", 100);
+    reg.register_binding("b@d", "<sip:b>", 100);
+    reg.clear();
+    EXPECT_EQ(reg.size(), 0u);
+  });
+}
+
+TEST(RegistrarTest, ConcurrentRegistrationsSafe) {
+  rt::Sim sim;
+  const rt::SimResult r = sim.run([&] {
+    Registrar reg;
+    std::vector<rt::thread> threads;
+    for (int i = 0; i < 6; ++i)
+      threads.emplace_back([&reg, i] {
+        const std::string aor = "user" + std::to_string(i) + "@d";
+        reg.register_binding(aor, "<sip:" + aor + ">", 1000);
+        (void)reg.lookup(aor);
+      });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(reg.size(), 6u);
+    reg.clear();
+  });
+  EXPECT_TRUE(r.completed());
+}
+
+// --- domain data (Fig. 7) -------------------------------------------------------
+
+TEST(DomainDataTest, AddAndFind) {
+  rt::Sim sim;
+  sim.run([&] {
+    ServerModulesManagerImpl mgr;
+    mgr.add_domain("example.com", "sip:core;lr", 70);
+    DomainData* d = mgr.find_domain("example.com");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->route().str(), "sip:core;lr");
+    EXPECT_EQ(d->max_forwards(), 70u);
+    EXPECT_EQ(mgr.find_domain("other.org"), nullptr);
+    mgr.clear(true);
+  });
+}
+
+TEST(DomainDataTest, BuggyAccessorReturnsLiveReference) {
+  rt::Sim sim;
+  sim.run([&] {
+    ServerModulesManagerImpl mgr;
+    mgr.add_domain("example.com", "r", 70);
+    DomainMap& map = mgr.getDomainData();  // Fig. 7: guard already released
+    EXPECT_EQ(map.size(), 1u);
+    mgr.add_domain("second.org", "r2", 70);
+    EXPECT_EQ(map.size(), 2u);  // alias of the internal map
+    mgr.clear(true);
+  });
+}
+
+TEST(DomainDataTest, UnprotectedLookupFindsData) {
+  rt::Sim sim;
+  sim.run([&] {
+    ServerModulesManagerImpl mgr;
+    mgr.add_domain("example.com", "r", 70);
+    EXPECT_NE(mgr.find_domain_unprotected("example.com"), nullptr);
+    EXPECT_EQ(mgr.find_domain_unprotected("nope"), nullptr);
+    mgr.clear(true);
+  });
+}
+
+TEST(DomainDataTest, ReplaceDeletesOld) {
+  rt::Sim sim;
+  sim.run([&] {
+    ServerModulesManagerImpl mgr;
+    mgr.add_domain("d", "route-1", 70);
+    mgr.add_domain("d", "route-2", 60);
+    EXPECT_EQ(mgr.size(), 1u);
+    EXPECT_EQ(mgr.find_domain("d")->route().str(), "route-2");
+    mgr.clear(true);
+  });
+}
+
+// --- transactions -----------------------------------------------------------------
+
+TEST(TransactionTest, InviteLifecycle) {
+  rt::Sim sim;
+  sim.run([&] {
+    InviteServerTransaction tx("z9hG4bK-1");
+    EXPECT_EQ(tx.state(), TxState::Proceeding);
+    tx.on_response(180);
+    EXPECT_EQ(tx.state(), TxState::Proceeding);
+    tx.on_response(486);
+    EXPECT_EQ(tx.state(), TxState::Completed);
+    tx.on_request(Method::Ack);
+    EXPECT_TRUE(tx.terminated());
+  });
+}
+
+TEST(TransactionTest, Invite2xxTerminatesImmediately) {
+  rt::Sim sim;
+  sim.run([&] {
+    InviteServerTransaction tx("z9hG4bK-2");
+    tx.on_response(200);
+    EXPECT_TRUE(tx.terminated());
+  });
+}
+
+TEST(TransactionTest, InviteCancelMovesToCompleted) {
+  rt::Sim sim;
+  sim.run([&] {
+    InviteServerTransaction tx("z9hG4bK-3");
+    EXPECT_FALSE(tx.on_request(Method::Cancel));  // CANCEL gets own response
+    EXPECT_EQ(tx.state(), TxState::Completed);
+  });
+}
+
+TEST(TransactionTest, NonInviteLifecycle) {
+  rt::Sim sim;
+  sim.run([&] {
+    NonInviteServerTransaction tx("z9hG4bK-4", Method::Register);
+    EXPECT_EQ(tx.state(), TxState::Trying);
+    tx.on_response(100);
+    EXPECT_EQ(tx.state(), TxState::Proceeding);
+    tx.on_response(200);
+    EXPECT_TRUE(tx.terminated());
+  });
+}
+
+TEST(TransactionTest, RetransmissionAbsorbed) {
+  rt::Sim sim;
+  sim.run([&] {
+    NonInviteServerTransaction tx("z9hG4bK-5", Method::Options);
+    EXPECT_TRUE(tx.on_request(Method::Options));
+    tx.on_response(200);
+    EXPECT_FALSE(tx.on_request(Method::Options));  // terminated: not absorbed
+  });
+}
+
+TEST(TransactionTest, RetainedMessages) {
+  rt::Sim sim;
+  sim.run([&] {
+    TransactionTable table;
+    bool created = false;
+    auto tx = table.find_or_create("b1", Method::Invite, created);
+    EXPECT_TRUE(created);
+    EXPECT_EQ(tx->last_response(), nullptr);
+    auto req = std::make_shared<SipRequest>(Method::Invite, "sip:x@y");
+    tx->retain_request(req);
+    auto resp = std::make_shared<SipResponse>(200);
+    tx->retain_response(resp);
+    EXPECT_EQ(tx->original_request()->method(), Method::Invite);
+    EXPECT_EQ(tx->last_response()->status(), 200);
+    table.clear();
+  });
+}
+
+TEST(TransactionTableTest, FindOrCreateByBranch) {
+  rt::Sim sim;
+  sim.run([&] {
+    TransactionTable table;
+    bool created = false;
+    auto a = table.find_or_create("b1", Method::Invite, created);
+    EXPECT_TRUE(created);
+    auto b = table.find_or_create("b1", Method::Invite, created);
+    EXPECT_FALSE(created);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(table.find("b1").get(), a.get());
+    EXPECT_EQ(table.find("zzz"), nullptr);
+    EXPECT_EQ(table.size(), 1u);
+    table.clear();
+  });
+}
+
+TEST(TransactionTableTest, ReapRemovesTerminatedOnly) {
+  rt::Sim sim;
+  sim.run([&] {
+    TransactionTable table;
+    bool created = false;
+    auto live = table.find_or_create("live", Method::Invite, created);
+    auto dead = table.find_or_create("dead", Method::Register, created);
+    dead->on_response(200);  // terminated
+    EXPECT_EQ(table.reap(), 1u);
+    EXPECT_EQ(table.size(), 1u);
+    EXPECT_NE(table.find("live"), nullptr);
+    EXPECT_EQ(table.find("dead"), nullptr);
+    (void)live;
+    table.clear();
+  });
+}
+
+TEST(TransactionTableTest, SharedOwnershipSurvivesReap) {
+  rt::Sim sim;
+  sim.run([&] {
+    TransactionTable table;
+    bool created = false;
+    auto held = table.find_or_create("b", Method::Register, created);
+    held->on_response(200);
+    EXPECT_EQ(table.reap(), 1u);
+    // The handle still works although the table dropped it.
+    EXPECT_TRUE(held->terminated());
+  });
+}
+
+// --- dialogs -----------------------------------------------------------------------
+
+TEST(DialogTest, Lifecycle) {
+  rt::Sim sim;
+  sim.run([&] {
+    DialogTable table;
+    auto d = table.create("call-1", cow_string("v=0"), 10);
+    EXPECT_EQ(d->state(), DialogState::Early);
+    d->confirm();
+    EXPECT_EQ(d->state(), DialogState::Confirmed);
+    EXPECT_TRUE(table.terminate("call-1", 50));
+    EXPECT_EQ(d->state(), DialogState::Terminated);
+    EXPECT_EQ(d->billing().duration(), 40u);
+    EXPECT_EQ(table.size(), 0u);
+  });
+}
+
+TEST(DialogTest, CreateIsIdempotentPerCall) {
+  rt::Sim sim;
+  sim.run([&] {
+    DialogTable table;
+    auto a = table.create("c", cow_string("sdp"), 1);
+    auto b = table.create("c", cow_string("other"), 2);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(table.size(), 1u);
+    table.clear();
+  });
+}
+
+TEST(DialogTest, TerminateUnknownReturnsFalse) {
+  rt::Sim sim;
+  sim.run([&] {
+    DialogTable table;
+    EXPECT_FALSE(table.terminate("ghost", 1));
+  });
+}
+
+TEST(DialogTest, MediaRenegotiation) {
+  rt::Sim sim;
+  sim.run([&] {
+    DialogTable table;
+    auto d = table.create("c", cow_string("v=0 initial"), 1);
+    d->media().update(cow_string("v=0 renegotiated"));
+    EXPECT_EQ(d->media().sdp().str(), "v=0 renegotiated");
+    EXPECT_EQ(d->media().updates(), 1u);
+    table.clear();
+  });
+}
+
+TEST(DialogTest, ConcurrentConfirmTerminate) {
+  rt::SimConfig cfg;
+  cfg.sched.seed = 5;
+  rt::Sim sim(cfg);
+  const rt::SimResult r = sim.run([&] {
+    DialogTable table;
+    table.create("c", cow_string("sdp"), 1);
+    rt::thread acker([&] {
+      if (auto d = table.find("c")) d->confirm();
+    });
+    rt::thread byer([&] { table.terminate("c", 9); });
+    acker.join();
+    byer.join();
+    EXPECT_EQ(table.size(), 0u);
+  });
+  EXPECT_TRUE(r.completed());
+}
+
+// --- stats -------------------------------------------------------------------------
+
+TEST(StatsTest, CountsAccumulate) {
+  rt::Sim sim;
+  sim.run([&] {
+    ProxyStats stats(/*unprotected=*/false);
+    stats.count_request();
+    stats.count_request();
+    stats.count_response(200);
+    stats.count_response(404);
+    stats.count_forward();
+    stats.count_parse_error();
+    EXPECT_EQ(stats.requests(), 2u);
+    EXPECT_EQ(stats.responses_2xx(), 1u);
+    EXPECT_EQ(stats.responses_4xx(), 1u);
+    EXPECT_EQ(stats.forwards(), 1u);
+    EXPECT_EQ(stats.parse_errors(), 1u);
+  });
+}
+
+// --- audit log & pool -----------------------------------------------------------------
+
+TEST(PoolTest, ForceNewNeverRecycles) {
+  rt::Sim sim;
+  sim.run([&] {
+    ObjectPool pool(/*force_new=*/true);
+    void* a = pool.acquire(32);
+    pool.release(a, 32);
+    void* b = pool.acquire(32);
+    pool.release(b, 32);
+    EXPECT_EQ(pool.recycled_count(), 0u);
+  });
+}
+
+TEST(PoolTest, RecyclesSameSizeClass) {
+  rt::Sim sim;
+  sim.run([&] {
+    ObjectPool pool(/*force_new=*/false);
+    void* a = pool.acquire(32);
+    pool.release(a, 32);
+    void* b = pool.acquire(32);
+    EXPECT_EQ(a, b);  // recycled
+    EXPECT_EQ(pool.recycled_count(), 1u);
+    void* c = pool.acquire(64);  // different bucket
+    EXPECT_EQ(pool.recycled_count(), 1u);
+    pool.release(b, 32);
+    pool.release(c, 64);
+  });
+}
+
+TEST(AuditLogTest, AppendAndTrim) {
+  rt::Sim sim;
+  sim.run([&] {
+    ObjectPool pool(true);
+    AuditLog log("test-log", pool);
+    for (int i = 0; i < 10; ++i)
+      log.append(static_cast<std::uint64_t>(i), 1);
+    EXPECT_EQ(log.size(), 10u);
+    log.trim(4);
+    EXPECT_EQ(log.size(), 4u);
+    log.trim(0);
+    EXPECT_EQ(log.size(), 0u);
+  });
+}
+
+TEST(AuditLogTest, TwoLogsShareThePool) {
+  rt::Sim sim;
+  sim.run([&] {
+    ObjectPool pool(false);
+    AuditLog a("log-a", pool);
+    AuditLog b("log-b", pool);
+    a.append(1, 0);
+    a.trim(0);
+    b.append(2, 0);  // recycles a's entry
+    EXPECT_EQ(pool.recycled_count(), 1u);
+    b.trim(0);
+  });
+}
+
+// --- deadlock watchdog -----------------------------------------------------------------
+
+TEST(WatchdogTest, StartsAndStops) {
+  rt::Sim sim;
+  const rt::SimResult r = sim.run([&] {
+    DeadlockMonitor monitor(100);
+    monitor.start();
+    EXPECT_TRUE(monitor.running());
+    rt::sleep_ticks(200);
+    monitor.stop();
+    EXPECT_FALSE(monitor.running());
+  });
+  EXPECT_TRUE(r.completed());
+}
+
+TEST(WatchdogTest, FlagsLongHeldSlot) {
+  rt::Sim sim;
+  sim.run([&] {
+    DeadlockMonitor monitor(/*timeout_ticks=*/100);
+    monitor.start();
+    monitor.note_acquire(0, rt::Sim::current()->sched().virtual_time());
+    rt::sleep_ticks(500);  // hold far beyond the timeout
+    EXPECT_GT(monitor.alarms(), 0u);
+    monitor.note_release(0);
+    monitor.stop();
+  });
+}
+
+TEST(WatchdogTest, ReleasedSlotNotFlagged) {
+  rt::Sim sim;
+  sim.run([&] {
+    DeadlockMonitor monitor(1000);
+    monitor.start();
+    monitor.note_acquire(1, rt::Sim::current()->sched().virtual_time());
+    monitor.note_release(1);
+    rt::sleep_ticks(300);
+    EXPECT_EQ(monitor.alarms(), 0u);
+    monitor.stop();
+  });
+}
+
+// --- time utilities -------------------------------------------------------------------
+
+TEST(TimeUtils, FormatTicks) {
+  EXPECT_EQ(format_ticks(0), "00:00:00.000");
+  EXPECT_EQ(format_ticks(61'123), "00:01:01.123");
+  EXPECT_EQ(format_ticks(3'600'000), "01:00:00.000");
+}
+
+TEST(TimeUtils, SafeVariantMatchesUnsafe) {
+  rt::Sim sim;
+  sim.run([&] {
+    std::string safe;
+    safe_ctime(1234, safe);
+    EXPECT_EQ(safe, std::string(unsafe_ctime(1234)));
+  });
+}
+
+}  // namespace
+}  // namespace rg::sip

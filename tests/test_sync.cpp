@@ -1,0 +1,504 @@
+// Synchronisation primitive semantics and the tool events they raise.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rt/memory.hpp"
+#include "rt/queue.hpp"
+#include "rt/sim.hpp"
+#include "rt/sync.hpp"
+#include "rt/thread.hpp"
+
+namespace rg::rt {
+namespace {
+
+/// Records every sync event for assertions.
+class RecordingTool : public Tool {
+ public:
+  struct LockEvent {
+    ThreadId tid;
+    LockId lock;
+    LockMode mode;
+    char kind;  // 'p' pre, 'a' acquired, 'r' released
+  };
+  std::vector<LockEvent> lock_events;
+  std::vector<std::pair<SyncId, std::uint64_t>> puts, gets, posts, waits;
+  int signals = 0;
+  int wait_returns = 0;
+
+  void on_pre_lock(ThreadId t, LockId l, LockMode m,
+                   support::SiteId) override {
+    lock_events.push_back({t, l, m, 'p'});
+  }
+  void on_post_lock(ThreadId t, LockId l, LockMode m,
+                    support::SiteId) override {
+    lock_events.push_back({t, l, m, 'a'});
+  }
+  void on_unlock(ThreadId t, LockId l, support::SiteId) override {
+    lock_events.push_back({t, l, LockMode::Exclusive, 'r'});
+  }
+  void on_cond_signal(ThreadId, SyncId, support::SiteId) override {
+    ++signals;
+  }
+  void on_cond_wait_return(ThreadId, SyncId, LockId,
+                           support::SiteId) override {
+    ++wait_returns;
+  }
+  void on_queue_put(ThreadId, SyncId q, std::uint64_t tok,
+                    support::SiteId) override {
+    puts.emplace_back(q, tok);
+  }
+  void on_queue_get(ThreadId, SyncId q, std::uint64_t tok,
+                    support::SiteId) override {
+    gets.emplace_back(q, tok);
+  }
+  void on_sem_post(ThreadId, SyncId s, std::uint64_t tok,
+                   support::SiteId) override {
+    posts.emplace_back(s, tok);
+  }
+  void on_sem_wait_return(ThreadId, SyncId s, std::uint64_t tok,
+                          support::SiteId) override {
+    waits.emplace_back(s, tok);
+  }
+};
+
+// --- mutex ------------------------------------------------------------------------
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  Sim sim;
+  sim.run([&] {
+    mutex m("m");
+    int counter = 0;  // plain int: only safe because of the lock
+    std::vector<thread> threads;
+    for (int i = 0; i < 8; ++i)
+      threads.emplace_back([&] {
+        for (int k = 0; k < 20; ++k) {
+          lock_guard g(m);
+          const int v = counter;
+          yield();  // try to break the critical section
+          counter = v + 1;
+        }
+      });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(counter, 160);
+  });
+}
+
+TEST(Mutex, EventsComeInOrder) {
+  RecordingTool tool;
+  Sim sim;
+  sim.attach(tool);
+  sim.run([&] {
+    mutex m("m");
+    m.lock();
+    m.unlock();
+  });
+  ASSERT_EQ(tool.lock_events.size(), 3u);
+  EXPECT_EQ(tool.lock_events[0].kind, 'p');
+  EXPECT_EQ(tool.lock_events[1].kind, 'a');
+  EXPECT_EQ(tool.lock_events[2].kind, 'r');
+  EXPECT_EQ(tool.lock_events[0].mode, LockMode::Exclusive);
+}
+
+TEST(Mutex, TryLockSucceedsWhenFree) {
+  Sim sim;
+  sim.run([&] {
+    mutex m("m");
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+  });
+}
+
+TEST(Mutex, TryLockFailsWhenHeld) {
+  Sim sim;
+  sim.run([&] {
+    mutex m("m");
+    semaphore locked(0, "locked"), release(0, "release");
+    thread holder([&] {
+      m.lock();
+      locked.post();
+      release.wait();
+      m.unlock();
+    });
+    locked.wait();
+    EXPECT_FALSE(m.try_lock());
+    release.post();
+    holder.join();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+  });
+}
+
+TEST(Mutex, HeldLocksTracked) {
+  Sim sim;
+  sim.run([&] {
+    mutex m1("m1"), m2("m2");
+    Runtime& rt = Sim::current()->runtime();
+    const ThreadId me = Sim::current_thread();
+    EXPECT_EQ(rt.held_locks(me).size(), 0u);
+    m1.lock();
+    m2.lock();
+    EXPECT_EQ(rt.held_locks(me).size(), 2u);
+    m1.unlock();
+    EXPECT_EQ(rt.held_locks(me).size(), 1u);
+    EXPECT_EQ(rt.held_locks(me)[0].lock, m2.id());
+    m2.unlock();
+    EXPECT_EQ(rt.held_locks(me).size(), 0u);
+  });
+}
+
+TEST(Mutex, NativeModeWorks) {
+  // Outside a Sim the primitives fall back to std::mutex.
+  mutex m("native");
+  int counter = 0;
+  std::vector<thread> threads;
+  for (int i = 0; i < 4; ++i)
+    threads.emplace_back([&] {
+      for (int k = 0; k < 1000; ++k) {
+        lock_guard g(m);
+        ++counter;
+      }
+    });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 4000);
+}
+
+// --- rw_mutex ----------------------------------------------------------------------
+
+TEST(RwMutex, SharedReadersCoexist) {
+  Sim sim;
+  sim.run([&] {
+    rw_mutex rw("rw");
+    int readers_inside = 0;
+    int max_readers = 0;
+    std::vector<thread> threads;
+    for (int i = 0; i < 4; ++i)
+      threads.emplace_back([&] {
+        shared_lock_guard g(rw);
+        ++readers_inside;
+        if (readers_inside > max_readers) max_readers = readers_inside;
+        yield();
+        yield();
+        --readers_inside;
+      });
+    for (auto& t : threads) t.join();
+    EXPECT_GE(max_readers, 2);
+  });
+}
+
+TEST(RwMutex, WriterExcludesReaders) {
+  Sim sim;
+  sim.run([&] {
+    rw_mutex rw("rw");
+    bool writer_inside = false;
+    bool overlap = false;
+    thread writer([&] {
+      rw.lock();
+      writer_inside = true;
+      for (int i = 0; i < 10; ++i) yield();
+      writer_inside = false;
+      rw.unlock();
+    });
+    thread reader([&] {
+      for (int i = 0; i < 5; ++i) {
+        shared_lock_guard g(rw);
+        if (writer_inside) overlap = true;
+        yield();
+      }
+    });
+    writer.join();
+    reader.join();
+    EXPECT_FALSE(overlap);
+  });
+}
+
+TEST(RwMutex, ModesReportedToTools) {
+  RecordingTool tool;
+  Sim sim;
+  sim.attach(tool);
+  sim.run([&] {
+    rw_mutex rw("rw");
+    rw.lock_shared();
+    rw.unlock();
+    rw.lock();
+    rw.unlock();
+  });
+  ASSERT_GE(tool.lock_events.size(), 6u);
+  EXPECT_EQ(tool.lock_events[0].mode, LockMode::Shared);
+  EXPECT_EQ(tool.lock_events[3].mode, LockMode::Exclusive);
+}
+
+TEST(RwMutex, HeldModeVisibleToDetectors) {
+  Sim sim;
+  sim.run([&] {
+    rw_mutex rw("rw");
+    Runtime& rt = Sim::current()->runtime();
+    const ThreadId me = Sim::current_thread();
+    rw.lock_shared();
+    ASSERT_EQ(rt.held_locks(me).size(), 1u);
+    EXPECT_EQ(rt.held_locks(me)[0].mode, LockMode::Shared);
+    rw.unlock();
+    rw.lock();
+    ASSERT_EQ(rt.held_locks(me).size(), 1u);
+    EXPECT_EQ(rt.held_locks(me)[0].mode, LockMode::Exclusive);
+    rw.unlock();
+  });
+}
+
+// --- condition_variable ---------------------------------------------------------------
+
+TEST(CondVar, SignalWakesWaiter) {
+  Sim sim;
+  sim.run([&] {
+    mutex m("m");
+    condition_variable cv("cv");
+    bool ready = false;
+    thread consumer([&] {
+      lock_guard g(m);
+      cv.wait_until(m, [&] { return ready; });
+      EXPECT_TRUE(ready);
+    });
+    {
+      lock_guard g(m);
+      ready = true;
+    }
+    cv.notify_one();
+    consumer.join();
+  });
+}
+
+TEST(CondVar, NotifyAllWakesEveryone) {
+  Sim sim;
+  sim.run([&] {
+    mutex m("m");
+    condition_variable cv("cv");
+    bool go = false;
+    int woken = 0;
+    std::vector<thread> threads;
+    for (int i = 0; i < 5; ++i)
+      threads.emplace_back([&] {
+        lock_guard g(m);
+        cv.wait_until(m, [&] { return go; });
+        ++woken;
+      });
+    for (int i = 0; i < 20; ++i) yield();  // let them park
+    {
+      lock_guard g(m);
+      go = true;
+    }
+    cv.notify_all();
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(woken, 5);
+  });
+}
+
+TEST(CondVar, SignalBeforeWaitIsLost) {
+  // The lost-wakeup semantics the paper criticises [12] for relying on:
+  // a signal with no waiter does nothing.
+  Sim sim;
+  const SimResult r = sim.run([&] {
+    mutex m("m");
+    condition_variable cv("cv");
+    cv.notify_one();  // lost
+    thread waiter([&] {
+      lock_guard g(m);
+      cv.wait(m);  // sleeps forever
+    });
+    waiter.join();
+  });
+  EXPECT_TRUE(r.deadlocked());
+}
+
+TEST(CondVar, EventsRaised) {
+  RecordingTool tool;
+  Sim sim;
+  sim.attach(tool);
+  sim.run([&] {
+    mutex m("m");
+    condition_variable cv("cv");
+    bool ready = false;
+    thread waiter([&] {
+      lock_guard g(m);
+      cv.wait_until(m, [&] { return ready; });
+    });
+    for (int i = 0; i < 10; ++i) yield();
+    {
+      lock_guard g(m);
+      ready = true;
+    }
+    cv.notify_one();
+    waiter.join();
+  });
+  EXPECT_GE(tool.signals, 1);
+  EXPECT_GE(tool.wait_returns, 1);
+}
+
+// --- semaphore ---------------------------------------------------------------------
+
+TEST(Semaphore, InitialCount) {
+  Sim sim;
+  sim.run([&] {
+    semaphore s(2, "s");
+    s.wait();
+    s.wait();  // both immediate
+    thread poster([&] { s.post(); });
+    s.wait();  // needs the post
+    poster.join();
+  });
+}
+
+TEST(Semaphore, TokensPairPostWithWaitFifo) {
+  RecordingTool tool;
+  Sim sim;
+  sim.attach(tool);
+  sim.run([&] {
+    semaphore s(0, "s");
+    s.post();
+    s.post();
+    s.wait();
+    s.wait();
+  });
+  ASSERT_EQ(tool.posts.size(), 2u);
+  ASSERT_EQ(tool.waits.size(), 2u);
+  EXPECT_EQ(tool.posts[0].second, tool.waits[0].second);
+  EXPECT_EQ(tool.posts[1].second, tool.waits[1].second);
+  EXPECT_NE(tool.posts[0].second, tool.posts[1].second);
+}
+
+TEST(Semaphore, InitialTokensAreUnpaired) {
+  RecordingTool tool;
+  Sim sim;
+  sim.attach(tool);
+  sim.run([&] {
+    semaphore s(1, "s");
+    s.wait();
+  });
+  ASSERT_EQ(tool.waits.size(), 1u);
+  EXPECT_EQ(tool.waits[0].second, 0u);  // token 0 = no posting thread
+}
+
+// --- message_queue -----------------------------------------------------------------
+
+TEST(MessageQueue, FifoDelivery) {
+  Sim sim;
+  sim.run([&] {
+    message_queue<int> q("q");
+    for (int i = 0; i < 5; ++i) q.put(i);
+    for (int i = 0; i < 5; ++i) {
+      int v = -1;
+      ASSERT_TRUE(q.get(v));
+      EXPECT_EQ(v, i);
+    }
+  });
+}
+
+TEST(MessageQueue, GetBlocksUntilPut) {
+  Sim sim;
+  sim.run([&] {
+    message_queue<int> q("q");
+    int got = -1;
+    thread consumer([&] {
+      int v;
+      if (q.get(v)) got = v;
+    });
+    for (int i = 0; i < 10; ++i) yield();
+    q.put(99);
+    consumer.join();
+    EXPECT_EQ(got, 99);
+  });
+}
+
+TEST(MessageQueue, CloseReleasesGetters) {
+  Sim sim;
+  sim.run([&] {
+    message_queue<int> q("q");
+    bool got_false = false;
+    thread consumer([&] {
+      int v;
+      got_false = !q.get(v);
+    });
+    for (int i = 0; i < 10; ++i) yield();
+    q.close();
+    consumer.join();
+    EXPECT_TRUE(got_false);
+  });
+}
+
+TEST(MessageQueue, CloseDrainsRemainingItems) {
+  Sim sim;
+  sim.run([&] {
+    message_queue<int> q("q");
+    q.put(1);
+    q.put(2);
+    q.close();
+    int v;
+    EXPECT_TRUE(q.get(v));
+    EXPECT_TRUE(q.get(v));
+    EXPECT_FALSE(q.get(v));
+  });
+}
+
+TEST(MessageQueue, BoundedCapacityBlocksPutters) {
+  Sim sim;
+  sim.run([&] {
+    message_queue<int> q("q", /*capacity=*/2);
+    int produced = 0;
+    thread producer([&] {
+      for (int i = 0; i < 6; ++i) {
+        q.put(i);
+        ++produced;
+      }
+    });
+    for (int i = 0; i < 30; ++i) yield();
+    EXPECT_LE(produced, 3);  // producer stuck at capacity
+    int v;
+    for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.get(v));
+    producer.join();
+    EXPECT_EQ(produced, 6);
+  });
+}
+
+TEST(MessageQueue, PutGetTokensPair) {
+  RecordingTool tool;
+  Sim sim;
+  sim.attach(tool);
+  sim.run([&] {
+    message_queue<int> q("q");
+    q.put(10);
+    q.put(20);
+    int v;
+    q.get(v);
+    q.get(v);
+  });
+  ASSERT_EQ(tool.puts.size(), 2u);
+  ASSERT_EQ(tool.gets.size(), 2u);
+  EXPECT_EQ(tool.puts[0].second, tool.gets[0].second);
+  EXPECT_EQ(tool.puts[1].second, tool.gets[1].second);
+}
+
+TEST(MessageQueue, WorkerPoolRoundTrip) {
+  Sim sim;
+  sim.run([&] {
+    message_queue<int> in("in");
+    message_queue<int> out("out");
+    std::vector<thread> workers;
+    for (int i = 0; i < 3; ++i)
+      workers.emplace_back([&] {
+        int v;
+        while (in.get(v)) out.put(v * 2);
+      });
+    for (int i = 1; i <= 9; ++i) in.put(i);
+    int sum = 0;
+    for (int i = 0; i < 9; ++i) {
+      int v;
+      ASSERT_TRUE(out.get(v));
+      sum += v;
+    }
+    in.close();
+    for (auto& w : workers) w.join();
+    EXPECT_EQ(sum, 90);  // 2 * (1+...+9)
+  });
+}
+
+}  // namespace
+}  // namespace rg::rt

@@ -1,0 +1,139 @@
+// Vector clock laws.
+#include <gtest/gtest.h>
+
+#include "shadow/vector_clock.hpp"
+#include "support/prng.hpp"
+
+namespace rg::shadow {
+namespace {
+
+TEST(VectorClockTest, FreshClockIsZero) {
+  VectorClock c;
+  EXPECT_EQ(c.get(0), 0u);
+  EXPECT_EQ(c.get(100), 0u);
+  EXPECT_EQ(c.width(), 0u);
+}
+
+TEST(VectorClockTest, TickAdvancesOwnComponent) {
+  VectorClock c;
+  c.tick(2);
+  c.tick(2);
+  EXPECT_EQ(c.get(2), 2u);
+  EXPECT_EQ(c.get(0), 0u);
+  EXPECT_EQ(c.get(1), 0u);
+}
+
+TEST(VectorClockTest, SetOverrides) {
+  VectorClock c;
+  c.set(3, 7);
+  EXPECT_EQ(c.get(3), 7u);
+}
+
+TEST(VectorClockTest, MergeIsComponentwiseMax) {
+  VectorClock a, b;
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 4);
+  b.set(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a.get(0), 5u);
+  EXPECT_EQ(a.get(1), 4u);
+  EXPECT_EQ(a.get(2), 2u);
+}
+
+TEST(VectorClockTest, LeqReflexive) {
+  VectorClock a;
+  a.set(0, 3);
+  a.set(5, 2);
+  EXPECT_TRUE(a.leq(a));
+}
+
+TEST(VectorClockTest, LeqOrdersCausally) {
+  VectorClock earlier, later;
+  earlier.set(0, 1);
+  later.set(0, 2);
+  later.set(1, 1);
+  EXPECT_TRUE(earlier.leq(later));
+  EXPECT_FALSE(later.leq(earlier));
+  EXPECT_FALSE(earlier.concurrent_with(later));
+}
+
+TEST(VectorClockTest, ConcurrentClocks) {
+  VectorClock a, b;
+  a.set(0, 1);
+  b.set(1, 1);
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_TRUE(b.concurrent_with(a));
+}
+
+TEST(VectorClockTest, EqualityIgnoresWidth) {
+  VectorClock a, b;
+  a.set(0, 1);
+  b.set(0, 1);
+  b.set(5, 0);  // explicit zero padding
+  EXPECT_TRUE(a == b);
+}
+
+TEST(VectorClockTest, Describe) {
+  VectorClock c;
+  c.set(0, 1);
+  c.set(2, 3);
+  EXPECT_EQ(c.describe(), "[1,0,3]");
+}
+
+/// Property sweep: merge is a least upper bound; leq is a partial order.
+class VectorClockProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VectorClockProperty, MergeIsLub) {
+  support::Xoshiro256 rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    VectorClock a, b;
+    for (rt::ThreadId t = 0; t < 6; ++t) {
+      a.set(t, static_cast<VectorClock::Tick>(rng.below(5)));
+      b.set(t, static_cast<VectorClock::Tick>(rng.below(5)));
+    }
+    VectorClock m = a;
+    m.merge(b);
+    // Upper bound:
+    EXPECT_TRUE(a.leq(m));
+    EXPECT_TRUE(b.leq(m));
+    // Least: any other upper bound dominates m.
+    VectorClock ub;
+    for (rt::ThreadId t = 0; t < 6; ++t)
+      ub.set(t, std::max(a.get(t), b.get(t)));
+    EXPECT_TRUE(m.leq(ub));
+    EXPECT_TRUE(ub.leq(m));
+  }
+}
+
+TEST_P(VectorClockProperty, LeqIsPartialOrder) {
+  support::Xoshiro256 rng(GetParam());
+  std::vector<VectorClock> clocks;
+  for (int i = 0; i < 12; ++i) {
+    VectorClock c;
+    for (rt::ThreadId t = 0; t < 4; ++t)
+      c.set(t, static_cast<VectorClock::Tick>(rng.below(4)));
+    clocks.push_back(c);
+  }
+  for (const auto& a : clocks) {
+    EXPECT_TRUE(a.leq(a));  // reflexive
+    for (const auto& b : clocks) {
+      // Antisymmetry.
+      if (a.leq(b) && b.leq(a)) {
+        EXPECT_TRUE(a == b);
+      }
+      for (const auto& c : clocks) {
+        // Transitivity.
+        if (a.leq(b) && b.leq(c)) {
+          EXPECT_TRUE(a.leq(c));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorClockProperty,
+                         ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace rg::shadow

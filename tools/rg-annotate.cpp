@@ -1,0 +1,90 @@
+// rg-annotate — the source-annotation stage of the debugging pipeline.
+//
+// Drop-in stage-2 of the paper's three-stage build (preprocess → annotate →
+// compile): wraps every delete-expression with the destructor annotation
+// helper. Designed so "a shell script that replaces the compiler call
+// during the build process" can invoke it, keeping the instrumentation
+// transparent to build tools and programmers.
+//
+// Usage:
+//   rg-annotate <input.cpp> [-o <output.cpp>]       annotate one file
+//   rg-annotate --check <input.cpp> ...             report rewrite counts
+//   rg-annotate --no-include ...                    omit the include line
+//   rg-annotate --wrapper-single NAME --wrapper-array NAME
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "annotate/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rg::annotate;
+  RewriteOptions options;
+  std::string output = "-";
+  std::vector<std::string> inputs;
+  bool check_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rg-annotate: %s needs an argument\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "-o") {
+      output = next();
+    } else if (arg == "--check") {
+      check_only = true;
+    } else if (arg == "--no-include") {
+      options.include_line.clear();
+    } else if (arg == "--wrapper-single") {
+      options.single_wrapper = next();
+    } else if (arg == "--wrapper-array") {
+      options.array_wrapper = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: rg-annotate [--check] [--no-include] [-o OUT] FILE...\n"
+          "Wraps every delete-expression with the destructor annotation\n"
+          "(stage 2 of the instrument/compile/execute debugging process).\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "rg-annotate: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  if (inputs.empty()) {
+    std::fprintf(stderr, "rg-annotate: no input files\n");
+    return 2;
+  }
+  if (!check_only && inputs.size() > 1 && output != "-") {
+    std::fprintf(stderr,
+                 "rg-annotate: -o with multiple inputs is not supported\n");
+    return 2;
+  }
+
+  PipelineStats stats;
+  for (const std::string& input : inputs) {
+    std::string error;
+    const std::string out_path = check_only ? "/dev/null" : output;
+    if (!annotate_file(input, out_path, options, stats, error)) {
+      std::fprintf(stderr, "rg-annotate: %s\n", error.c_str());
+      return 1;
+    }
+  }
+  if (check_only) {
+    std::fprintf(stderr,
+                 "rg-annotate: %zu file(s), %zu changed, %zu delete and %zu "
+                 "delete[] expressions annotated\n",
+                 stats.files_processed, stats.files_changed,
+                 stats.single_rewrites, stats.array_rewrites);
+  }
+  return 0;
+}

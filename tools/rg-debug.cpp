@@ -1,0 +1,161 @@
+// rg-debug — the paper's debugging process as a command-line tool.
+//
+// Runs a SIPp test case against the instrumented proxy under a chosen
+// detector configuration and prints the warning summary and the
+// Helgrind-style log (optionally to a file, like Helgrind's --log-file).
+//
+// Usage:
+//   rg-debug [options]
+//     --testcase N       1..8 (default 2); 0 = run all eight
+//     --seed S           schedule seed (default 7)
+//     --config C         original | hwlc | hwlc+dr | extended  (default hwlc+dr)
+//     --mode M           thread-per-request | thread-pool      (default t-p-r)
+//     --faults F         paper | none                          (default paper)
+//     --parallelism P    worker threads (default 8)
+//     --suppressions F   Valgrind-style suppression file
+//     --gen-suppressions F  write suppressions for all reported locations
+//     --log FILE         write the warning log to FILE instead of stdout
+//     --deadlock-tool    also run the lock-order checker
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sipp/experiment.hpp"
+#include "sipp/testcases.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: rg-debug [--testcase N] [--seed S] [--config C] [--mode M]\n"
+      "                [--faults paper|none] [--parallelism P]\n"
+      "                [--suppressions FILE] [--gen-suppressions FILE]\n"
+      "                [--log FILE] [--deadlock-tool]\n"
+      "  configs: original | hwlc | hwlc+dr | extended\n"
+      "  modes:   thread-per-request | thread-pool\n");
+  std::exit(code);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rg-debug: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rg;
+
+  int testcase = 2;
+  sipp::ExperimentConfig cfg;
+  cfg.seed = 7;
+  cfg.detector = core::HelgrindConfig::hwlc_dr();
+  std::string config_name = "hwlc+dr";
+  std::string log_path;
+  std::string gen_suppressions_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(2);
+      return argv[++i];
+    };
+    if (arg == "--testcase") {
+      testcase = std::atoi(next());
+    } else if (arg == "--seed") {
+      cfg.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--config") {
+      config_name = next();
+      if (config_name == "original")
+        cfg.detector = core::HelgrindConfig::original();
+      else if (config_name == "hwlc")
+        cfg.detector = core::HelgrindConfig::hwlc();
+      else if (config_name == "hwlc+dr")
+        cfg.detector = core::HelgrindConfig::hwlc_dr();
+      else if (config_name == "extended")
+        cfg.detector = core::HelgrindConfig::extended();
+      else
+        usage(2);
+    } else if (arg == "--mode") {
+      const std::string mode = next();
+      if (mode == "thread-per-request")
+        cfg.mode = sipp::DispatchMode::ThreadPerRequest;
+      else if (mode == "thread-pool")
+        cfg.mode = sipp::DispatchMode::ThreadPool;
+      else
+        usage(2);
+    } else if (arg == "--faults") {
+      const std::string faults = next();
+      if (faults == "paper")
+        cfg.faults = sip::FaultConfig::paper();
+      else if (faults == "none")
+        cfg.faults = sip::FaultConfig::none();
+      else
+        usage(2);
+    } else if (arg == "--parallelism") {
+      cfg.parallelism = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--suppressions") {
+      cfg.suppressions = slurp(next());
+    } else if (arg == "--gen-suppressions") {
+      gen_suppressions_path = next();
+    } else if (arg == "--log") {
+      log_path = next();
+    } else if (arg == "--deadlock-tool") {
+      cfg.deadlock_tool = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      usage(2);
+    }
+  }
+  if (testcase < 0 || testcase > sipp::kTestCaseCount) usage(2);
+
+  support::Table summary("rg-debug — configuration '" + config_name + "'");
+  summary.header({"Test case", "locations", "total", "suppressed",
+                  "lock-order", "responses", "outcome"});
+
+  std::string full_log;
+  std::string all_suppressions;
+  const int first = testcase == 0 ? 1 : testcase;
+  const int last = testcase == 0 ? sipp::kTestCaseCount : testcase;
+  for (int n = first; n <= last; ++n) {
+    const sipp::Scenario scenario = sipp::build_testcase(n, cfg.seed);
+    const sipp::ExperimentResult result = sipp::run_scenario(scenario, cfg);
+    summary.row(scenario.name, result.reported_locations,
+                result.total_warnings, result.suppressed_warnings,
+                result.lock_order_reports, result.responses,
+                result.sim.completed() ? "completed" : "ABORTED");
+    full_log += "===== " + scenario.name + " (" +
+                sipp::testcase_description(n) + ") =====\n";
+    full_log += result.report_text;
+    full_log += '\n';
+    all_suppressions += result.generated_suppressions;
+  }
+
+  std::printf("%s\n", summary.render().c_str());
+  if (!gen_suppressions_path.empty()) {
+    std::ofstream out(gen_suppressions_path, std::ios::binary);
+    out << all_suppressions;
+    std::printf("suppressions written to %s\n",
+                gen_suppressions_path.c_str());
+  }
+  if (log_path.empty()) {
+    std::printf("%s", full_log.c_str());
+  } else {
+    std::ofstream out(log_path, std::ios::binary);
+    out << full_log;
+    std::printf("warning log written to %s\n", log_path.c_str());
+  }
+  return 0;
+}
