@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detectors.dir/bench_detectors.cpp.o"
+  "CMakeFiles/bench_detectors.dir/bench_detectors.cpp.o.d"
+  "bench_detectors"
+  "bench_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_false_negative.dir/bench_false_negative.cpp.o"
+  "CMakeFiles/bench_false_negative.dir/bench_false_negative.cpp.o.d"
+  "bench_false_negative"
+  "bench_false_negative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_false_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

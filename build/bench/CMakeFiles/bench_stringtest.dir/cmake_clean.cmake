@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stringtest.dir/bench_stringtest.cpp.o"
+  "CMakeFiles/bench_stringtest.dir/bench_stringtest.cpp.o.d"
+  "bench_stringtest"
+  "bench_stringtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stringtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_pipeline.dir/annotate_pipeline.cpp.o"
+  "CMakeFiles/annotate_pipeline.dir/annotate_pipeline.cpp.o.d"
+  "annotate_pipeline"
+  "annotate_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

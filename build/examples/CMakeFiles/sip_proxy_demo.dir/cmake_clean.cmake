@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sip_proxy_demo.dir/sip_proxy_demo.cpp.o"
+  "CMakeFiles/sip_proxy_demo.dir/sip_proxy_demo.cpp.o.d"
+  "sip_proxy_demo"
+  "sip_proxy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sip_proxy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stringtest.dir/stringtest.cpp.o"
+  "CMakeFiles/stringtest.dir/stringtest.cpp.o.d"
+  "stringtest"
+  "stringtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stringtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threadpool_ownership.dir/threadpool_ownership.cpp.o"
+  "CMakeFiles/threadpool_ownership.dir/threadpool_ownership.cpp.o.d"
+  "threadpool_ownership"
+  "threadpool_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threadpool_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_annotate.dir/lexer.cpp.o"
+  "CMakeFiles/rg_annotate.dir/lexer.cpp.o.d"
+  "CMakeFiles/rg_annotate.dir/pipeline.cpp.o"
+  "CMakeFiles/rg_annotate.dir/pipeline.cpp.o.d"
+  "CMakeFiles/rg_annotate.dir/rewrite.cpp.o"
+  "CMakeFiles/rg_annotate.dir/rewrite.cpp.o.d"
+  "librg_annotate.a"
+  "librg_annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deadlock.cpp" "src/core/CMakeFiles/rg_core.dir/deadlock.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/deadlock.cpp.o.d"
+  "/root/repo/src/core/djit.cpp" "src/core/CMakeFiles/rg_core.dir/djit.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/djit.cpp.o.d"
+  "/root/repo/src/core/eraser.cpp" "src/core/CMakeFiles/rg_core.dir/eraser.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/eraser.cpp.o.d"
+  "/root/repo/src/core/helgrind.cpp" "src/core/CMakeFiles/rg_core.dir/helgrind.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/helgrind.cpp.o.d"
+  "/root/repo/src/core/hybrid.cpp" "src/core/CMakeFiles/rg_core.dir/hybrid.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/hybrid.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/rg_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/rg_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shadow/CMakeFiles/rg_shadow.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rg_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_core.dir/deadlock.cpp.o"
+  "CMakeFiles/rg_core.dir/deadlock.cpp.o.d"
+  "CMakeFiles/rg_core.dir/djit.cpp.o"
+  "CMakeFiles/rg_core.dir/djit.cpp.o.d"
+  "CMakeFiles/rg_core.dir/eraser.cpp.o"
+  "CMakeFiles/rg_core.dir/eraser.cpp.o.d"
+  "CMakeFiles/rg_core.dir/helgrind.cpp.o"
+  "CMakeFiles/rg_core.dir/helgrind.cpp.o.d"
+  "CMakeFiles/rg_core.dir/hybrid.cpp.o"
+  "CMakeFiles/rg_core.dir/hybrid.cpp.o.d"
+  "CMakeFiles/rg_core.dir/report.cpp.o"
+  "CMakeFiles/rg_core.dir/report.cpp.o.d"
+  "librg_core.a"
+  "librg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/memory.cpp" "src/rt/CMakeFiles/rg_rt.dir/memory.cpp.o" "gcc" "src/rt/CMakeFiles/rg_rt.dir/memory.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/rt/CMakeFiles/rg_rt.dir/runtime.cpp.o" "gcc" "src/rt/CMakeFiles/rg_rt.dir/runtime.cpp.o.d"
+  "/root/repo/src/rt/sched.cpp" "src/rt/CMakeFiles/rg_rt.dir/sched.cpp.o" "gcc" "src/rt/CMakeFiles/rg_rt.dir/sched.cpp.o.d"
+  "/root/repo/src/rt/sim.cpp" "src/rt/CMakeFiles/rg_rt.dir/sim.cpp.o" "gcc" "src/rt/CMakeFiles/rg_rt.dir/sim.cpp.o.d"
+  "/root/repo/src/rt/sync.cpp" "src/rt/CMakeFiles/rg_rt.dir/sync.cpp.o" "gcc" "src/rt/CMakeFiles/rg_rt.dir/sync.cpp.o.d"
+  "/root/repo/src/rt/thread.cpp" "src/rt/CMakeFiles/rg_rt.dir/thread.cpp.o" "gcc" "src/rt/CMakeFiles/rg_rt.dir/thread.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/rg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

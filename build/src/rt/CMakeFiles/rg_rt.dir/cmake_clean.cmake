@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_rt.dir/memory.cpp.o"
+  "CMakeFiles/rg_rt.dir/memory.cpp.o.d"
+  "CMakeFiles/rg_rt.dir/runtime.cpp.o"
+  "CMakeFiles/rg_rt.dir/runtime.cpp.o.d"
+  "CMakeFiles/rg_rt.dir/sched.cpp.o"
+  "CMakeFiles/rg_rt.dir/sched.cpp.o.d"
+  "CMakeFiles/rg_rt.dir/sim.cpp.o"
+  "CMakeFiles/rg_rt.dir/sim.cpp.o.d"
+  "CMakeFiles/rg_rt.dir/sync.cpp.o"
+  "CMakeFiles/rg_rt.dir/sync.cpp.o.d"
+  "CMakeFiles/rg_rt.dir/thread.cpp.o"
+  "CMakeFiles/rg_rt.dir/thread.cpp.o.d"
+  "librg_rt.a"
+  "librg_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

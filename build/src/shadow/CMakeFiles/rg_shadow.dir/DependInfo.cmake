@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shadow/lockset.cpp" "src/shadow/CMakeFiles/rg_shadow.dir/lockset.cpp.o" "gcc" "src/shadow/CMakeFiles/rg_shadow.dir/lockset.cpp.o.d"
+  "/root/repo/src/shadow/segments.cpp" "src/shadow/CMakeFiles/rg_shadow.dir/segments.cpp.o" "gcc" "src/shadow/CMakeFiles/rg_shadow.dir/segments.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/rg_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_shadow.dir/lockset.cpp.o"
+  "CMakeFiles/rg_shadow.dir/lockset.cpp.o.d"
+  "CMakeFiles/rg_shadow.dir/segments.cpp.o"
+  "CMakeFiles/rg_shadow.dir/segments.cpp.o.d"
+  "librg_shadow.a"
+  "librg_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

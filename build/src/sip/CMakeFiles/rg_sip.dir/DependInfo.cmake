@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sip/audit.cpp" "src/sip/CMakeFiles/rg_sip.dir/audit.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/audit.cpp.o.d"
+  "/root/repo/src/sip/cow_string.cpp" "src/sip/CMakeFiles/rg_sip.dir/cow_string.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/cow_string.cpp.o.d"
+  "/root/repo/src/sip/deadlock_monitor.cpp" "src/sip/CMakeFiles/rg_sip.dir/deadlock_monitor.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/deadlock_monitor.cpp.o.d"
+  "/root/repo/src/sip/dialog.cpp" "src/sip/CMakeFiles/rg_sip.dir/dialog.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/dialog.cpp.o.d"
+  "/root/repo/src/sip/dispatch.cpp" "src/sip/CMakeFiles/rg_sip.dir/dispatch.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/dispatch.cpp.o.d"
+  "/root/repo/src/sip/domain_data.cpp" "src/sip/CMakeFiles/rg_sip.dir/domain_data.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/domain_data.cpp.o.d"
+  "/root/repo/src/sip/message.cpp" "src/sip/CMakeFiles/rg_sip.dir/message.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/message.cpp.o.d"
+  "/root/repo/src/sip/parser.cpp" "src/sip/CMakeFiles/rg_sip.dir/parser.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/parser.cpp.o.d"
+  "/root/repo/src/sip/pool_alloc.cpp" "src/sip/CMakeFiles/rg_sip.dir/pool_alloc.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/pool_alloc.cpp.o.d"
+  "/root/repo/src/sip/proxy.cpp" "src/sip/CMakeFiles/rg_sip.dir/proxy.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/proxy.cpp.o.d"
+  "/root/repo/src/sip/registrar.cpp" "src/sip/CMakeFiles/rg_sip.dir/registrar.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/registrar.cpp.o.d"
+  "/root/repo/src/sip/stats.cpp" "src/sip/CMakeFiles/rg_sip.dir/stats.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/stats.cpp.o.d"
+  "/root/repo/src/sip/time_utils.cpp" "src/sip/CMakeFiles/rg_sip.dir/time_utils.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/time_utils.cpp.o.d"
+  "/root/repo/src/sip/transaction.cpp" "src/sip/CMakeFiles/rg_sip.dir/transaction.cpp.o" "gcc" "src/sip/CMakeFiles/rg_sip.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/rg_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/annotate/CMakeFiles/rg_annotate.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_sip.dir/audit.cpp.o"
+  "CMakeFiles/rg_sip.dir/audit.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/cow_string.cpp.o"
+  "CMakeFiles/rg_sip.dir/cow_string.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/deadlock_monitor.cpp.o"
+  "CMakeFiles/rg_sip.dir/deadlock_monitor.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/dialog.cpp.o"
+  "CMakeFiles/rg_sip.dir/dialog.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/dispatch.cpp.o"
+  "CMakeFiles/rg_sip.dir/dispatch.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/domain_data.cpp.o"
+  "CMakeFiles/rg_sip.dir/domain_data.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/message.cpp.o"
+  "CMakeFiles/rg_sip.dir/message.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/parser.cpp.o"
+  "CMakeFiles/rg_sip.dir/parser.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/pool_alloc.cpp.o"
+  "CMakeFiles/rg_sip.dir/pool_alloc.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/proxy.cpp.o"
+  "CMakeFiles/rg_sip.dir/proxy.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/registrar.cpp.o"
+  "CMakeFiles/rg_sip.dir/registrar.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/stats.cpp.o"
+  "CMakeFiles/rg_sip.dir/stats.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/time_utils.cpp.o"
+  "CMakeFiles/rg_sip.dir/time_utils.cpp.o.d"
+  "CMakeFiles/rg_sip.dir/transaction.cpp.o"
+  "CMakeFiles/rg_sip.dir/transaction.cpp.o.d"
+  "librg_sip.a"
+  "librg_sip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_sip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

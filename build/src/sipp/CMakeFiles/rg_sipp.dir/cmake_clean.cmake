@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_sipp.dir/experiment.cpp.o"
+  "CMakeFiles/rg_sipp.dir/experiment.cpp.o.d"
+  "CMakeFiles/rg_sipp.dir/scenario.cpp.o"
+  "CMakeFiles/rg_sipp.dir/scenario.cpp.o.d"
+  "CMakeFiles/rg_sipp.dir/testcases.cpp.o"
+  "CMakeFiles/rg_sipp.dir/testcases.cpp.o.d"
+  "librg_sipp.a"
+  "librg_sipp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_sipp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg_support.dir/glob.cpp.o"
+  "CMakeFiles/rg_support.dir/glob.cpp.o.d"
+  "CMakeFiles/rg_support.dir/intern.cpp.o"
+  "CMakeFiles/rg_support.dir/intern.cpp.o.d"
+  "CMakeFiles/rg_support.dir/site.cpp.o"
+  "CMakeFiles/rg_support.dir/site.cpp.o.d"
+  "CMakeFiles/rg_support.dir/stats.cpp.o"
+  "CMakeFiles/rg_support.dir/stats.cpp.o.d"
+  "CMakeFiles/rg_support.dir/strings.cpp.o"
+  "CMakeFiles/rg_support.dir/strings.cpp.o.d"
+  "CMakeFiles/rg_support.dir/table.cpp.o"
+  "CMakeFiles/rg_support.dir/table.cpp.o.d"
+  "librg_support.a"
+  "librg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

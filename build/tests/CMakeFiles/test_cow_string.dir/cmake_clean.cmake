@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cow_string.dir/test_cow_string.cpp.o"
+  "CMakeFiles/test_cow_string.dir/test_cow_string.cpp.o.d"
+  "test_cow_string"
+  "test_cow_string.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cow_string.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

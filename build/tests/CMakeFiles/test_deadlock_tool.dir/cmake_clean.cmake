@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlock_tool.dir/test_deadlock_tool.cpp.o"
+  "CMakeFiles/test_deadlock_tool.dir/test_deadlock_tool.cpp.o.d"
+  "test_deadlock_tool"
+  "test_deadlock_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlock_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_djit.dir/test_djit.cpp.o"
+  "CMakeFiles/test_djit.dir/test_djit.cpp.o.d"
+  "test_djit"
+  "test_djit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_djit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eraser.dir/test_eraser.cpp.o"
+  "CMakeFiles/test_eraser.dir/test_eraser.cpp.o.d"
+  "test_eraser"
+  "test_eraser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eraser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_false_negative.dir/test_false_negative.cpp.o"
+  "CMakeFiles/test_false_negative.dir/test_false_negative.cpp.o.d"
+  "test_false_negative"
+  "test_false_negative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_false_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_false_negative.
+# This may be replaced when dependencies are built.

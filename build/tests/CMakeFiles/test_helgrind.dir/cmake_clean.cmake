@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_helgrind.dir/test_helgrind.cpp.o"
+  "CMakeFiles/test_helgrind.dir/test_helgrind.cpp.o.d"
+  "test_helgrind"
+  "test_helgrind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_helgrind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ownership.dir/test_ownership.cpp.o"
+  "CMakeFiles/test_ownership.dir/test_ownership.cpp.o.d"
+  "test_ownership"
+  "test_ownership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ownership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_map.dir/test_shadow_map.cpp.o"
+  "CMakeFiles/test_shadow_map.dir/test_shadow_map.cpp.o.d"
+  "test_shadow_map"
+  "test_shadow_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_true_positives.dir/test_true_positives.cpp.o"
+  "CMakeFiles/test_true_positives.dir/test_true_positives.cpp.o.d"
+  "test_true_positives"
+  "test_true_positives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_true_positives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg-annotate.dir/rg-annotate.cpp.o"
+  "CMakeFiles/rg-annotate.dir/rg-annotate.cpp.o.d"
+  "rg-annotate"
+  "rg-annotate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg-annotate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rg-debug.dir/rg-debug.cpp.o"
+  "CMakeFiles/rg-debug.dir/rg-debug.cpp.o.d"
+  "rg-debug"
+  "rg-debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rg-debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
