@@ -1,0 +1,105 @@
+// Robustness tier — convergence under deterministic fault injection.
+//
+// Runs the same mixed scenario through the fixed proxy (all seeded faults
+// off) under increasingly hostile seeded network weather, with the UA-style
+// retransmitting client and the HWLC+DR detector attached. The claim: every
+// call converges (final response, shed 503, or a logged timer-B/F give-up),
+// the detector stays silent, and with overload control on the transaction
+// table never exceeds its watermark while shedding keeps the proxy live.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/helgrind.hpp"
+#include "rt/chaos.hpp"
+#include "sip/faults.hpp"
+#include "sipp/experiment.hpp"
+#include "sipp/testcases.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RowResult {
+  double seconds = 0.0;
+  rg::sipp::ExperimentResult result;
+};
+
+RowResult run_row(const rg::rt::ChaosConfig& chaos,
+                  const rg::sip::OverloadConfig& overload,
+                  std::uint64_t seed) {
+  using namespace rg;
+  const sipp::Scenario scenario = sipp::build_testcase(5, seed);
+  sipp::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.faults = sip::FaultConfig::none();
+  cfg.detector = core::HelgrindConfig::hwlc_dr();
+  cfg.chaos = chaos;
+  cfg.chaos_client = true;  // UA driver even for the calm row
+  cfg.overload = overload;
+  cfg.parallelism = 6;
+  RowResult out;
+  const auto start = Clock::now();
+  out.result = sipp::run_scenario(scenario, cfg);
+  out.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rg;
+  std::uint64_t seed = 7;
+  if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+
+  std::printf(
+      "Chaos convergence — fixed proxy, HWLC+DR attached, T5 workload, "
+      "seed %llu\n\n",
+      static_cast<unsigned long long>(seed));
+
+  struct Row {
+    const char* name;
+    rt::ChaosConfig chaos;
+    sip::OverloadConfig overload;
+  };
+  sip::OverloadConfig guarded;
+  guarded.tx_watermark = 4;
+  const Row rows[] = {
+      {"calm (no faults)", rt::ChaosConfig::none(seed), {}},
+      {"light weather", rt::ChaosConfig::light(seed), {}},
+      {"heavy weather", rt::ChaosConfig::heavy(seed), {}},
+      {"heavy + overload guard", rt::ChaosConfig::heavy(seed), guarded},
+  };
+
+  support::Table table("per-call convergence under injected faults");
+  table.header({"Network", "time [s]", "calls", "deliv", "rexmit", "gave-up",
+                "shed", "tx-peak", "warn", "converged"});
+  bool all_converged = true;
+  bool all_quiet = true;
+  for (const Row& row : rows) {
+    const RowResult r = run_row(row.chaos, row.overload, seed);
+    const auto& c = r.result.chaos;
+    all_converged = all_converged && c.converged() && r.result.sim.completed();
+    all_quiet = all_quiet && r.result.reported_locations == 0;
+    char t[32];
+    std::snprintf(t, sizeof t, "%.4f", r.seconds);
+    table.row(row.name, t, std::to_string(c.calls.size()),
+              std::to_string(c.deliveries), std::to_string(c.retransmissions),
+              std::to_string(c.give_ups), std::to_string(r.result.proxy_sheds),
+              std::to_string(r.result.transaction_peak),
+              std::to_string(r.result.reported_locations),
+              c.converged() ? "yes" : "NO");
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "Every call ends in a final response, a shed 503, or a logged "
+      "timer-B/F give-up [%s]; the race-free build stays warning-free under "
+      "injected loss, duplication, delay, reordering and stalls [%s].\n",
+      all_converged ? "yes" : "NO", all_quiet ? "yes" : "NO");
+  std::printf(
+      "Replays are seed-exact: rerun with the same seed to get the same "
+      "injection trace and the same per-call outcomes.\n");
+  return all_converged && all_quiet ? 0 : 1;
+}

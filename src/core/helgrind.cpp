@@ -6,7 +6,9 @@
 namespace rg::core {
 
 HelgrindTool::HelgrindTool(const HelgrindConfig& config)
-    : config_(config), reports_("Helgrind") {}
+    : config_(config), reports_("Helgrind") {
+  reports_.set_report_cap(config.report_cap);
+}
 
 void HelgrindTool::on_attach(rt::Runtime& rt) {
   Tool::on_attach(rt);

@@ -57,6 +57,9 @@ struct HelgrindConfig {
   /// §5 future-work extension: message-queue and semaphore hand-offs create
   /// happens-before edges (thread segments).
   bool hb_message_passing = false;
+  /// Warning-storm hardening: cap on distinct stored report locations
+  /// (ReportManager::set_report_cap). 0 = unlimited.
+  std::size_t report_cap = 0;
 
   /// The three measured configurations of Figs. 5/6.
   static HelgrindConfig original() { return {}; }

@@ -121,6 +121,11 @@ bool ReportManager::add(Report report) {
     ++reports_[it->second].occurrences;
     return false;
   }
+  if (cap_ != 0 && reports_.size() >= cap_) {
+    // Warning storm: keep counting so the loss is visible, store nothing.
+    ++overflow_;
+    return false;
+  }
   by_key_.emplace(key, reports_.size());
   reports_.push_back(std::move(report));
   return true;
@@ -195,6 +200,11 @@ std::string ReportManager::render(const rt::Runtime& rt) const {
       out += " occurrences at this location)\n";
     }
     out += '\n';
+  }
+  if (overflow_ != 0) {
+    out += "(" + std::to_string(overflow_) +
+           " further reports suppressed: report cap of " +
+           std::to_string(cap_) + " locations reached)\n";
   }
   return out;
 }

@@ -80,8 +80,19 @@ class ReportManager {
     add_suppressions(parse_suppressions(text));
   }
 
+  /// Warning-storm hardening: once `max_locations` distinct locations have
+  /// been filed, further *new* locations are counted but not stored, so a
+  /// chaos run whose detector melts down degrades to O(cap) memory instead
+  /// of O(warnings). Existing locations keep folding normally. 0 (default)
+  /// = unlimited.
+  void set_report_cap(std::size_t max_locations) { cap_ = max_locations; }
+  std::size_t report_cap() const { return cap_; }
+  /// New locations dropped because the cap was reached.
+  std::uint64_t overflow_reports() const { return overflow_; }
+
   /// Files a report. Returns true when it established a *new* location;
-  /// false when it was folded into an existing one or suppressed.
+  /// false when it was folded into an existing one, suppressed, or dropped
+  /// by the report cap.
   bool add(Report report);
 
   /// Distinct reported locations (the quantity in Figs. 5/6).
@@ -113,6 +124,8 @@ class ReportManager {
   std::unordered_map<std::string, std::size_t> by_key_;
   std::uint64_t total_ = 0;
   std::uint64_t suppressed_ = 0;
+  std::size_t cap_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace rg::core

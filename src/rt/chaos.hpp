@@ -1,0 +1,171 @@
+// Deterministic fault injection — the chaos layer of the robustness tier.
+//
+// C11Tester-style reproducibility: every adverse event (message drop,
+// duplication, delay, reordering, thread stall) is a pure function of a
+// user-visible seed and stable identifiers, never of wall-clock time or of
+// the order in which threads happen to ask. Under a Sim the injected delays
+// and stalls are spent in *virtual* time, so the same (scheduler seed,
+// chaos seed) pair replays an adverse execution bit-identically — including
+// the injection trace, which records what was injected, where, and at what
+// virtual instant.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/prng.hpp"
+
+namespace rg::rt {
+
+/// What the plan decided to do to one delivery attempt.
+enum class FaultKind : std::uint8_t {
+  Drop,       // the message never reaches the server
+  Duplicate,  // the message arrives twice (UDP duplication)
+  Delay,      // delivery is postponed by some virtual ticks
+  Reorder,    // a batch is delivered in a permuted order
+  Stall,      // the injecting thread sleeps at an injection point
+};
+
+const char* to_string(FaultKind kind);
+
+/// Chaos intensity knobs. All probabilities are per-mille so configurations
+/// are exact integers (no float drift across platforms). Zero everywhere
+/// means the engine is a transparent pass-through.
+struct ChaosConfig {
+  std::uint64_t seed = 1;
+
+  std::uint32_t drop_permille = 0;
+  std::uint32_t duplicate_permille = 0;
+  std::uint32_t delay_permille = 0;
+  /// Injected delays are uniform in [1, max_delay_ticks] virtual ticks.
+  std::uint64_t max_delay_ticks = 200;
+  /// Probability that a batch of messages is delivered in permuted order.
+  std::uint32_t reorder_permille = 0;
+  std::uint32_t stall_permille = 0;
+  /// Injected stalls are uniform in [1, max_stall_ticks] virtual ticks.
+  std::uint64_t max_stall_ticks = 50;
+
+  bool any_faults() const {
+    return drop_permille != 0 || duplicate_permille != 0 ||
+           delay_permille != 0 || reorder_permille != 0 ||
+           stall_permille != 0;
+  }
+
+  /// Pass-through (used to validate the harness itself).
+  static ChaosConfig none(std::uint64_t seed = 1) {
+    ChaosConfig c;
+    c.seed = seed;
+    return c;
+  }
+
+  /// Mild UDP weather: occasional loss, duplication and jitter.
+  static ChaosConfig light(std::uint64_t seed = 1) {
+    ChaosConfig c;
+    c.seed = seed;
+    c.drop_permille = 50;
+    c.duplicate_permille = 50;
+    c.delay_permille = 100;
+    c.max_delay_ticks = 100;
+    c.reorder_permille = 200;
+    return c;
+  }
+
+  /// Hostile network: heavy loss, duplication, jitter and stalls.
+  static ChaosConfig heavy(std::uint64_t seed = 1) {
+    ChaosConfig c;
+    c.seed = seed;
+    c.drop_permille = 250;
+    c.duplicate_permille = 150;
+    c.delay_permille = 300;
+    c.max_delay_ticks = 300;
+    c.reorder_permille = 500;
+    c.stall_permille = 100;
+    c.max_stall_ticks = 80;
+    return c;
+  }
+};
+
+/// The plan for one delivery attempt of one message.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  std::uint64_t delay_ticks = 0;
+
+  bool clean() const { return !drop && !duplicate && delay_ticks == 0; }
+};
+
+/// One line of the injection trace.
+struct InjectionRecord {
+  std::uint64_t seq = 0;       // position in the trace
+  std::uint64_t vtime = 0;     // virtual time when injected (0 natively)
+  FaultKind kind = FaultKind::Drop;
+  std::uint64_t target = 0;    // message / batch / stall-point id
+  std::uint32_t attempt = 0;   // delivery attempt (0 = first send)
+  std::uint64_t detail = 0;    // delay/stall ticks, permutation size
+};
+
+/// Seed-driven fault planner plus trace recorder.
+///
+/// plan() is stateless and order-independent: the decision for
+/// (message, attempt) depends only on the seed, so concurrent callers can
+/// consult the plan in any interleaving and still see the same faults.
+/// apply()/reorder()/stall_point() additionally record what was injected;
+/// under a deterministic scheduler the trace is itself reproducible.
+class ChaosEngine {
+ public:
+  explicit ChaosEngine(const ChaosConfig& config);
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  const ChaosConfig& config() const { return config_; }
+
+  /// Pure fault plan for delivery attempt `attempt` of `message_id`.
+  FaultDecision plan(std::uint64_t message_id, std::uint32_t attempt) const;
+
+  /// plan() plus trace recording. The per-fault counters are updated too.
+  FaultDecision apply(std::uint64_t message_id, std::uint32_t attempt);
+
+  /// Seeded delivery order for a batch of `n` messages: identity when the
+  /// reorder fault does not fire, a Fisher-Yates permutation otherwise.
+  std::vector<std::size_t> delivery_order(std::uint64_t batch_id,
+                                          std::size_t n);
+
+  /// Injection point for thread stalls: with probability
+  /// `stall_permille` the calling thread sleeps a seeded number of virtual
+  /// ticks. Stable `point_id`s keep the plan order-independent.
+  void stall_point(std::uint64_t point_id);
+
+  // Trace access ----------------------------------------------------------
+  const std::vector<InjectionRecord>& trace() const { return trace_; }
+  /// Canonical one-line-per-injection rendering; two runs replay
+  /// identically iff these strings are equal.
+  std::string trace_text() const;
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t delayed() const { return delayed_; }
+  std::uint64_t reordered_batches() const { return reordered_; }
+  std::uint64_t stalls() const { return stalls_; }
+
+ private:
+  /// Independent decision stream for (target, attempt, salt).
+  support::Xoshiro256 stream(std::uint64_t target, std::uint32_t attempt,
+                             std::uint64_t salt) const;
+  void record(FaultKind kind, std::uint64_t target, std::uint32_t attempt,
+              std::uint64_t detail);
+  static std::uint64_t now();
+
+  ChaosConfig config_;
+  mutable std::mutex mu_;  // native-mode safety; a Sim serialises anyway
+  std::vector<InjectionRecord> trace_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t delayed_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t stalls_ = 0;
+};
+
+}  // namespace rg::rt

@@ -8,6 +8,8 @@
 // catalogue on.
 #pragma once
 
+#include <array>
+
 namespace rg::sip {
 
 struct FaultConfig {
@@ -42,22 +44,43 @@ struct FaultConfig {
   /// `pool_force_new` (the GLIBCXX_FORCE_NEW analogue) disables the pool.
   bool pooled_allocator_reuse = false;
 
+  /// Every toggle above, in declaration order. A new fault MUST be listed
+  /// here; the static_assert below the struct catches a forgotten entry, so
+  /// none()/any() cannot silently drift.
+  static constexpr std::array<bool FaultConfig::*, 8> all_flags() {
+    return {
+        &FaultConfig::unprotected_domain_map,
+        &FaultConfig::init_order_race,
+        &FaultConfig::shutdown_order_race,
+        &FaultConfig::unsafe_time_function,
+        &FaultConfig::racy_deadlock_monitor,
+        &FaultConfig::benign_stats_races,
+        &FaultConfig::third_party_unannotated_deletes,
+        &FaultConfig::pooled_allocator_reuse,
+    };
+  }
+
+  /// True when any fault class is enabled.
+  bool any() const {
+    for (bool FaultConfig::*flag : all_flags())
+      if (this->*flag) return true;
+    return false;
+  }
+
   /// Everything off — the "fixed" build used to verify detectors go quiet.
   static FaultConfig none() {
     FaultConfig f;
-    f.unprotected_domain_map = false;
-    f.init_order_race = false;
-    f.shutdown_order_race = false;
-    f.unsafe_time_function = false;
-    f.racy_deadlock_monitor = false;
-    f.benign_stats_races = false;
-    f.third_party_unannotated_deletes = false;
-    f.pooled_allocator_reuse = false;
+    for (bool FaultConfig::*flag : all_flags()) f.*flag = false;
     return f;
   }
 
   /// The paper's application as found: every §4.1/§4.2 class present.
   static FaultConfig paper() { return FaultConfig{}; }
 };
+
+// FaultConfig holds nothing but bool toggles, so its size equals the toggle
+// count; adding a fault without extending all_flags() trips this.
+static_assert(sizeof(FaultConfig) == FaultConfig::all_flags().size(),
+              "every FaultConfig toggle must be listed in all_flags()");
 
 }  // namespace rg::sip

@@ -136,7 +136,10 @@ void Proxy::start(const std::source_location& /*loc*/) {
 
 void Proxy::shutdown(const std::source_location& /*loc*/) {
   RG_FRAME();
-  RG_ASSERT_MSG(started_, "proxy not started");
+  // Idempotent: a second shutdown, or a shutdown before start(), is a
+  // no-op so teardown paths (destructors, error unwinds, chaos harnesses)
+  // can call it unconditionally.
+  if (!started_) return;
   started_ = false;
 
   if (config_.faults.shutdown_order_race) {
@@ -197,6 +200,15 @@ void Proxy::reaper_loop() {
   }
 }
 
+bool Proxy::overloaded() const {
+  const OverloadConfig& ol = config_.overload;
+  if (ol.tx_watermark != 0 && transactions_.size() >= ol.tx_watermark)
+    return true;
+  if (ol.inflight_watermark != 0 && stats_.inflight() > ol.inflight_watermark)
+    return true;
+  return false;
+}
+
 RequestHandler* Proxy::handler_for(Method m) const {
   const auto idx = static_cast<std::size_t>(m);
   RequestHandler* h =
@@ -225,10 +237,33 @@ std::unique_ptr<SipResponse> Proxy::make_response(
   return response;
 }
 
+namespace {
+
+/// Scoped in-flight accounting; engaged only when overload control is on so
+/// classic runs see no difference at all.
+class InflightScope {
+ public:
+  explicit InflightScope(ProxyStats* stats) : stats_(stats) {
+    if (stats_ != nullptr) stats_->enter_inflight();
+  }
+  ~InflightScope() {
+    if (stats_ != nullptr) stats_->leave_inflight();
+  }
+  InflightScope(const InflightScope&) = delete;
+  InflightScope& operator=(const InflightScope&) = delete;
+
+ private:
+  ProxyStats* stats_;
+};
+
+}  // namespace
+
 std::shared_ptr<const SipResponse> Proxy::handle(
     std::shared_ptr<const SipRequest> request,
     const std::source_location& /*loc*/) {
   RG_FRAME();
+  const bool overload_on = config_.overload.enabled();
+  InflightScope inflight(overload_on ? &stats_ : nullptr);
   stats_.count_request();
   request_log_.append(now(), static_cast<std::uint32_t>(request->method()));
 
@@ -248,8 +283,33 @@ std::shared_ptr<const SipResponse> Proxy::handle(
       request->method() == Method::Ack) {
     tx = transactions_.find(branch);
   } else {
+    // §21.5.4-style local shedding: refuse new work instead of letting
+    // the transaction table and in-flight set grow without bound. The
+    // in-flight watermark is checked up front; the transaction watermark
+    // is enforced atomically inside find_or_create so concurrent workers
+    // can never overshoot it. Shed requests are answered statelessly — no
+    // transaction is created.
+    if (overload_on && overloaded()) {
+      stats_.count_shed();
+      auto shed = make_response(503, *request);
+      shed->add_header("retry-after",
+                       cow_string(std::to_string(config_.overload.retry_after_s)));
+      stats_.count_response(503);
+      return std::shared_ptr<SipResponse>(std::move(shed));
+    }
     bool created = false;
-    tx = transactions_.find_or_create(branch, request->method(), created);
+    tx = transactions_.find_or_create(branch, request->method(), created,
+                                      config_.overload.tx_watermark);
+    if (overload_on) stats_.note_transactions(transactions_.size());
+    if (tx == nullptr) {
+      // Lost the race for the last table slot: shed like above.
+      stats_.count_shed();
+      auto shed = make_response(503, *request);
+      shed->add_header("retry-after",
+                       cow_string(std::to_string(config_.overload.retry_after_s)));
+      stats_.count_response(503);
+      return std::shared_ptr<SipResponse>(std::move(shed));
+    }
     transaction_log_.append(now(),
                             static_cast<std::uint32_t>(request->method()));
     if (created) {

@@ -45,8 +45,25 @@ class RequestHandler : public SipObject {
   virtual const char* name() const = 0;
 };
 
+/// Overload-control watermarks (RFC 3261 §21.5.4 / RFC 5390 style local
+/// shedding). All zero (the default) disables overload control entirely, so
+/// the classic experiment paths see a bit-identical event stream.
+struct OverloadConfig {
+  /// Shed new transaction-creating requests once the transaction table
+  /// holds this many entries. 0 = unlimited.
+  std::size_t tx_watermark = 0;
+  /// Shed once more than this many requests are inside handle() at once.
+  /// 0 = unlimited.
+  std::size_t inflight_watermark = 0;
+  /// Advertised Retry-After (seconds) on shed 503 responses.
+  std::uint32_t retry_after_s = 5;
+
+  bool enabled() const { return tx_watermark != 0 || inflight_watermark != 0; }
+};
+
 struct ProxyConfig {
   FaultConfig faults;
+  OverloadConfig overload;
   std::string domain = "example.com";
   /// Additional domains the proxy serves.
   std::vector<std::string> extra_domains = {"voip.example.net",
@@ -72,7 +89,8 @@ class Proxy {
                  std::source_location::current());
 
   /// Tears everything down; with the shutdown-order fault this destroys
-  /// domain data before the reaper thread has stopped.
+  /// domain data before the reaper thread has stopped. Idempotent, and a
+  /// no-op on a proxy that was never started.
   void shutdown(const std::source_location& loc =
                     std::source_location::current());
 
@@ -113,6 +131,8 @@ class Proxy {
   friend class DefaultHandler;
 
   RequestHandler* handler_for(Method m) const;
+  /// True when a transaction-creating request must be shed (503).
+  bool overloaded() const;
   void reaper_loop();
   std::unique_ptr<SipResponse> make_response(
       int status, const SipRequest& request,

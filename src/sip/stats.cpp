@@ -15,6 +15,8 @@ void ProxyStats::count_response(int status, const std::source_location& /*loc*/)
       responses_2xx_.store(responses_2xx_.load() + 1);
     else if (status >= 400 && status < 500)
       responses_4xx_.store(responses_4xx_.load() + 1);
+    else if (status >= 500 && status < 600)
+      responses_5xx_.store(responses_5xx_.load() + 1);
   });
 }
 
@@ -36,6 +38,10 @@ std::uint64_t ProxyStats::responses_2xx(
 std::uint64_t ProxyStats::responses_4xx(
     const std::source_location& /*loc*/) const {
   return responses_4xx_.load();
+}
+std::uint64_t ProxyStats::responses_5xx(
+    const std::source_location& /*loc*/) const {
+  return responses_5xx_.load();
 }
 std::uint64_t ProxyStats::forwards(const std::source_location& /*loc*/) const {
   return forwards_.load();

@@ -6,6 +6,7 @@
 // just a benign race"). With the fault off, a mutex guards them.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <source_location>
 
@@ -28,11 +29,42 @@ class ProxyStats {
   void count_parse_error(const std::source_location& loc =
                              std::source_location::current());
 
+  // Overload-control / graceful-degradation gauges. These are plain
+  // std::atomic (never detector-visible, never a scheduling point): the
+  // overload machinery is correct-by-design infrastructure and must not
+  // perturb the experiment event stream or add warning sites of its own.
+  /// A request was shed with 503 Service Unavailable.
+  void count_shed() { sheds_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t sheds() const {
+    return sheds_.load(std::memory_order_relaxed);
+  }
+  /// Tracks the number of requests currently inside handle().
+  std::uint32_t enter_inflight() {
+    return inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void leave_inflight() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+  std::uint32_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  /// Records a transaction-table size observation; keeps the peak.
+  void note_transactions(std::size_t n) {
+    std::uint64_t prev = tx_peak_.load(std::memory_order_relaxed);
+    while (n > prev &&
+           !tx_peak_.compare_exchange_weak(prev, n,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t transaction_peak() const {
+    return tx_peak_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t requests(const std::source_location& loc =
                              std::source_location::current()) const;
   std::uint64_t responses_2xx(const std::source_location& loc =
                                   std::source_location::current()) const;
   std::uint64_t responses_4xx(const std::source_location& loc =
+                                  std::source_location::current()) const;
+  std::uint64_t responses_5xx(const std::source_location& loc =
                                   std::source_location::current()) const;
   std::uint64_t forwards(const std::source_location& loc =
                              std::source_location::current()) const;
@@ -55,8 +87,12 @@ class ProxyStats {
   rt::tracked<std::uint64_t> requests_;
   rt::tracked<std::uint64_t> responses_2xx_;
   rt::tracked<std::uint64_t> responses_4xx_;
+  rt::tracked<std::uint64_t> responses_5xx_;
   rt::tracked<std::uint64_t> forwards_;
   rt::tracked<std::uint64_t> parse_errors_;
+  std::atomic<std::uint64_t> sheds_{0};
+  std::atomic<std::uint32_t> inflight_{0};
+  std::atomic<std::uint64_t> tx_peak_{0};
 };
 
 }  // namespace rg::sip

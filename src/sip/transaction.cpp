@@ -171,7 +171,7 @@ TransactionTable::~TransactionTable() { table_.clear(); }
 
 std::shared_ptr<ServerTransaction> TransactionTable::find_or_create(
     const std::string& branch, Method method, bool& created,
-    const std::source_location& /*loc*/) {
+    std::size_t capacity, const std::source_location& /*loc*/) {
   RG_FRAME();
   rt::lock_guard guard(mu_);
   marker_.read();
@@ -179,6 +179,11 @@ std::shared_ptr<ServerTransaction> TransactionTable::find_or_create(
   if (it != table_.end()) {
     created = false;
     return it->second;
+  }
+  if (capacity != 0 && table_.size() >= capacity) {
+    // Hard watermark: the caller sheds instead of growing the table.
+    created = false;
+    return nullptr;
   }
   created = true;
   std::shared_ptr<ServerTransaction> tx(

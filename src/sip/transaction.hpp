@@ -138,9 +138,14 @@ class TransactionTable {
   ~TransactionTable();
 
   /// Finds the transaction for `branch`, or creates one of the right kind.
-  /// `created` reports whether this call created it.
+  /// `created` reports whether this call created it. A non-zero `capacity`
+  /// makes the check-and-create atomic under the table mutex: when the
+  /// table already holds `capacity` entries and `branch` is new, nothing is
+  /// created and nullptr is returned (the overload-shedding path). Matching
+  /// an existing branch always succeeds regardless of capacity.
   std::shared_ptr<ServerTransaction> find_or_create(
       const std::string& branch, Method method, bool& created,
+      std::size_t capacity = 0,
       const std::source_location& loc = std::source_location::current());
 
   std::shared_ptr<ServerTransaction> find(

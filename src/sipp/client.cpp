@@ -1,0 +1,184 @@
+#include "sipp/client.hpp"
+
+#include <algorithm>
+
+#include "rt/sim.hpp"
+#include "rt/thread.hpp"
+#include "sip/proxy.hpp"
+
+namespace rg::sipp {
+
+const char* to_string(CallOutcome outcome) {
+  switch (outcome) {
+    case CallOutcome::Pending:
+      return "pending";
+    case CallOutcome::Final:
+      return "final";
+    case CallOutcome::Shed:
+      return "shed-503";
+    case CallOutcome::GaveUp:
+      return "gave-up";
+    case CallOutcome::Absorbed:
+      return "absorbed";
+  }
+  return "?";
+}
+
+void ChaosRunResult::merge(const ChaosRunResult& other) {
+  calls.insert(calls.end(), other.calls.begin(), other.calls.end());
+  finals += other.finals;
+  shed += other.shed;
+  give_ups += other.give_ups;
+  absorbed += other.absorbed;
+  deliveries += other.deliveries;
+  retransmissions += other.retransmissions;
+}
+
+namespace {
+
+/// Status of a serialized response, 0 when `wire` is not a response. Plain
+/// string slicing on purpose: the UA side must not add instrumented events
+/// of its own.
+int response_status(const std::string& wire) {
+  constexpr std::string_view kPrefix = "SIP/2.0 ";
+  if (wire.size() < kPrefix.size() + 3 ||
+      wire.compare(0, kPrefix.size(), kPrefix) != 0)
+    return 0;
+  int status = 0;
+  for (std::size_t i = kPrefix.size(); i < kPrefix.size() + 3; ++i) {
+    if (wire[i] < '0' || wire[i] > '9') return 0;
+    status = status * 10 + (wire[i] - '0');
+  }
+  return status;
+}
+
+std::uint64_t virtual_now() {
+  rt::Sim* sim = rt::Sim::current();
+  return sim != nullptr ? sim->sched().virtual_time() : 0;
+}
+
+}  // namespace
+
+ChaosClient::ChaosClient(rt::ChaosEngine& chaos, sip::Proxy& proxy,
+                         RetransmitTimers timers, std::size_t parallelism)
+    : chaos_(chaos),
+      proxy_(proxy),
+      timers_(timers),
+      parallelism_(parallelism == 0 ? 1 : parallelism) {}
+
+CallRecord ChaosClient::drive_call(const std::string& wire,
+                                   std::uint64_t message_id) {
+  CallRecord rec;
+  rec.message_id = message_id;
+  // Injection point: the UA thread itself may be stalled here, modelling a
+  // client that goes quiet mid-conversation.
+  chaos_.stall_point(message_id);
+
+  std::uint64_t interval = timers_.t1;
+  std::uint64_t waited = 0;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (attempt != 0) ++rec.retransmissions;
+    const rt::FaultDecision fault = chaos_.apply(message_id, attempt);
+    bool delivered = false;
+    std::string response;
+    if (!fault.drop) {
+      if (fault.delay_ticks != 0) rt::sleep_ticks(fault.delay_ticks);
+      ++rec.deliveries;
+      response = proxy_.handle_wire(wire);
+      delivered = true;
+      if (fault.duplicate) {
+        // UDP duplication: the copy is absorbed by transaction-layer
+        // retransmission replay (or re-answered statelessly).
+        ++rec.deliveries;
+        (void)proxy_.handle_wire(wire);
+      }
+    }
+    if (delivered) {
+      if (response.empty()) {
+        rec.outcome = CallOutcome::Absorbed;
+        break;
+      }
+      const int status = response_status(response);
+      if (status >= 200) {
+        rec.final_status = status;
+        rec.outcome =
+            status == 503 ? CallOutcome::Shed : CallOutcome::Final;
+        break;
+      }
+      // Provisional response: keep the retransmission timer running.
+    }
+    // No final response yet — retransmit after the current interval, with
+    // RFC 3261 exponential backoff capped at T2, unless timer B/F fires.
+    if (waited + interval > timers_.giveup_after()) {
+      rec.outcome = CallOutcome::GaveUp;
+      break;
+    }
+    rt::sleep_ticks(interval);
+    waited += interval;
+    interval = std::min(interval * 2, timers_.t2);
+  }
+  rec.finished_at = virtual_now();
+  return rec;
+}
+
+ChaosRunResult ChaosClient::run_phase(const std::vector<std::string>& wires) {
+  ChaosRunResult result;
+  result.calls.resize(wires.size());
+  if (wires.empty()) return result;
+
+  // Message identities are assigned up front, in scenario order, so the
+  // fault plan for call N never depends on thread interleaving.
+  std::vector<std::uint64_t> ids(wires.size());
+  for (std::size_t i = 0; i < wires.size(); ++i) ids[i] = next_message_id_++;
+
+  // Seeded network reordering of the batch.
+  const std::vector<std::size_t> order =
+      chaos_.delivery_order(next_batch_id_++, wires.size());
+
+  const std::size_t ua_count = std::min(parallelism_, wires.size());
+  std::vector<rt::thread> uas;
+  uas.reserve(ua_count);
+  for (std::size_t t = 0; t < ua_count; ++t) {
+    uas.emplace_back(
+        [this, t, ua_count, &order, &wires, &ids, &result] {
+          for (std::size_t k = t; k < order.size(); k += ua_count) {
+            const std::size_t i = order[k];
+            CallRecord rec = drive_call(wires[i], ids[i]);
+            rec.index = i;
+            result.calls[i] = rec;  // slots are disjoint per UA thread
+          }
+        },
+        "ua-client");
+  }
+  for (rt::thread& ua : uas) ua.join();
+
+  for (const CallRecord& rec : result.calls) {
+    result.deliveries += rec.deliveries;
+    result.retransmissions += rec.retransmissions;
+    switch (rec.outcome) {
+      case CallOutcome::Final:
+        ++result.finals;
+        break;
+      case CallOutcome::Shed:
+        ++result.shed;
+        break;
+      case CallOutcome::GaveUp:
+        ++result.give_ups;
+        break;
+      case CallOutcome::Absorbed:
+        ++result.absorbed;
+        break;
+      case CallOutcome::Pending:
+        break;
+    }
+  }
+  return result;
+}
+
+ChaosRunResult ChaosClient::run(const Scenario& scenario) {
+  ChaosRunResult total;
+  for (const auto& phase : scenario.phases) total.merge(run_phase(phase));
+  return total;
+}
+
+}  // namespace rg::sipp

@@ -1,0 +1,108 @@
+// Chaos-aware SIP client driver (the "real UA" counterpart of the
+// fire-and-forget phase delivery in sip/dispatch.hpp).
+//
+// Under fault injection a client that sends each request exactly once cannot
+// converge: dropped requests simply vanish. This driver reacts the way an
+// RFC 3261 UA does — unanswered requests are retransmitted with exponential
+// backoff (the T1/T2 model, §17.1.1.1) against *virtual* time, and a call
+// whose timer B/F expires gives up and says so. Every call therefore ends in
+// one of four accounted states: a final response, a shed 503, a logged
+// give-up, or absorption (ACK) — the convergence criterion of the chaos
+// test tier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/chaos.hpp"
+#include "sipp/scenario.hpp"
+
+namespace rg::sip {
+class Proxy;
+}
+
+namespace rg::sipp {
+
+/// RFC 3261 §17.1.1.1 retransmission timers, in virtual ticks.
+struct RetransmitTimers {
+  /// T1 — RTT estimate; first retransmission interval.
+  std::uint64_t t1 = 50;
+  /// T2 — cap on the doubled retransmission interval.
+  std::uint64_t t2 = 400;
+  /// Timer B/F fires `giveup_factor * t1` after the first send.
+  std::uint32_t giveup_factor = 64;
+
+  std::uint64_t giveup_after() const { return giveup_factor * t1; }
+};
+
+enum class CallOutcome : std::uint8_t {
+  Pending,   // not finished (never appears in a converged run)
+  Final,     // 2xx-4xx final response received
+  Shed,      // 503 Service Unavailable (proxy overload shedding)
+  GaveUp,    // timer B/F expired without a final response
+  Absorbed,  // request class the proxy absorbs (ACK)
+};
+
+const char* to_string(CallOutcome outcome);
+
+/// Convergence accounting for one driven request.
+struct CallRecord {
+  std::size_t index = 0;         // position within the driven batch
+  std::uint64_t message_id = 0;  // identity in the chaos fault plan
+  int final_status = 0;
+  std::uint32_t deliveries = 0;  // wire deliveries, duplicates included
+  std::uint32_t retransmissions = 0;
+  CallOutcome outcome = CallOutcome::Pending;
+  std::uint64_t finished_at = 0;  // virtual time
+};
+
+struct ChaosRunResult {
+  std::vector<CallRecord> calls;
+  std::uint64_t finals = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t give_ups = 0;
+  std::uint64_t absorbed = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t retransmissions = 0;
+
+  /// Every call reached a terminal state.
+  bool converged() const {
+    return finals + shed + give_ups + absorbed == calls.size();
+  }
+
+  void merge(const ChaosRunResult& other);
+};
+
+/// Drives scenario phases through a proxy with `parallelism` concurrent UA
+/// threads, consulting a ChaosEngine for per-delivery faults. Deterministic
+/// in (scheduler seed, chaos seed, scenario).
+class ChaosClient {
+ public:
+  ChaosClient(rt::ChaosEngine& chaos, sip::Proxy& proxy,
+              RetransmitTimers timers = {}, std::size_t parallelism = 4);
+
+  ChaosClient(const ChaosClient&) = delete;
+  ChaosClient& operator=(const ChaosClient&) = delete;
+
+  /// Delivers one phase: seeded reordering, then concurrent UA threads
+  /// each running the retransmission state machine per call.
+  ChaosRunResult run_phase(const std::vector<std::string>& wires);
+
+  /// Runs every phase back to back (phases are sequence points).
+  ChaosRunResult run(const Scenario& scenario);
+
+  const RetransmitTimers& timers() const { return timers_; }
+
+ private:
+  CallRecord drive_call(const std::string& wire, std::uint64_t message_id);
+
+  rt::ChaosEngine& chaos_;
+  sip::Proxy& proxy_;
+  RetransmitTimers timers_;
+  std::size_t parallelism_;
+  std::uint64_t next_message_id_ = 1;
+  std::uint64_t next_batch_id_ = 1;
+};
+
+}  // namespace rg::sipp

@@ -13,10 +13,15 @@ namespace rg::sipp {
 
 ExperimentResult run_scenario(const Scenario& scenario,
                               const ExperimentConfig& config) {
-  core::HelgrindTool helgrind(config.detector);
+  core::HelgrindConfig detector_cfg = config.detector;
+  if (config.report_cap != 0) detector_cfg.report_cap = config.report_cap;
+  core::HelgrindTool helgrind(detector_cfg);
   if (!config.suppressions.empty())
     helgrind.reports().load_suppressions(config.suppressions);
   core::DeadlockTool deadlock;
+  rt::ChaosEngine chaos(config.chaos);
+  const bool use_chaos_client =
+      config.chaos_client || config.chaos.any_faults();
 
   rt::SimConfig sim_cfg;
   sim_cfg.sched.seed = config.seed;
@@ -29,22 +34,36 @@ ExperimentResult run_scenario(const Scenario& scenario,
   result.sim = sim.run([&] {
     sip::ProxyConfig proxy_cfg;
     proxy_cfg.faults = config.faults;
+    proxy_cfg.overload = config.overload;
     sip::Proxy proxy(proxy_cfg);
 
-    std::unique_ptr<sip::Dispatcher> dispatcher;
-    if (config.mode == DispatchMode::ThreadPerRequest)
-      dispatcher =
-          std::make_unique<sip::ThreadPerRequestDispatcher>(config.parallelism);
-    else
-      dispatcher = std::make_unique<sip::ThreadPoolDispatcher>(config.parallelism);
-
     proxy.start();
-    for (const auto& phase : scenario.phases) {
-      const auto responses = dispatcher->dispatch(proxy, phase);
-      result.responses += responses.size();
+    if (use_chaos_client) {
+      // Robustness tier: adverse network weather plus a UA that
+      // retransmits against virtual time instead of fire-and-forget.
+      ChaosClient client(chaos, proxy, config.timers, config.parallelism);
+      result.chaos = client.run(scenario);
+      result.responses +=
+          static_cast<std::size_t>(result.chaos.finals + result.chaos.shed);
+    } else {
+      std::unique_ptr<sip::Dispatcher> dispatcher;
+      if (config.mode == DispatchMode::ThreadPerRequest)
+        dispatcher = std::make_unique<sip::ThreadPerRequestDispatcher>(
+            config.parallelism);
+      else
+        dispatcher =
+            std::make_unique<sip::ThreadPoolDispatcher>(config.parallelism);
+      for (const auto& phase : scenario.phases) {
+        const auto responses = dispatcher->dispatch(proxy, phase);
+        result.responses += responses.size();
+      }
     }
+    result.proxy_sheds = proxy.stats().sheds();
+    result.transaction_peak = proxy.stats().transaction_peak();
     proxy.shutdown();
   });
+  result.injection_trace = chaos.trace_text();
+  result.report_overflow = helgrind.reports().overflow_reports();
 
   const core::ReportManager& reports = helgrind.reports();
   result.reported_locations = 0;

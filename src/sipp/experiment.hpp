@@ -7,8 +7,11 @@
 #include <vector>
 
 #include "core/helgrind.hpp"
+#include "rt/chaos.hpp"
 #include "rt/sim.hpp"
 #include "sip/faults.hpp"
+#include "sip/proxy.hpp"
+#include "sipp/client.hpp"
 #include "sipp/scenario.hpp"
 
 namespace rg::sipp {
@@ -29,6 +32,20 @@ struct ExperimentConfig {
   bool deadlock_tool = false;
   /// Optional Valgrind-style suppression file contents.
   std::string suppressions;
+
+  // --- robustness tier ----------------------------------------------------
+  /// Fault injection plan. Any enabled fault switches the traffic driver
+  /// from the fire-and-forget dispatcher to the retransmitting ChaosClient.
+  rt::ChaosConfig chaos;
+  /// Force the ChaosClient even with no injected faults (used to validate
+  /// that the UA driver itself converges cleanly).
+  bool chaos_client = false;
+  /// Retransmission timers for the ChaosClient (virtual ticks).
+  RetransmitTimers timers;
+  /// Proxy overload-control watermarks (zero = unlimited, classic runs).
+  sip::OverloadConfig overload;
+  /// Detector report cap (ReportManager hardening); 0 = unlimited.
+  std::size_t report_cap = 0;
 };
 
 struct ExperimentResult {
@@ -46,6 +63,18 @@ struct ExperimentResult {
   rt::SimResult sim;
   std::size_t responses = 0;
   std::size_t lockset_distinct = 0;
+
+  // --- robustness tier ----------------------------------------------------
+  /// Per-call convergence accounting (empty unless the ChaosClient ran).
+  ChaosRunResult chaos;
+  /// Canonical injection trace; equal strings == bit-identical replay.
+  std::string injection_trace;
+  /// New report locations dropped by the detector's report cap.
+  std::uint64_t report_overflow = 0;
+  /// Requests shed with 503 by proxy overload control.
+  std::uint64_t proxy_sheds = 0;
+  /// Highest transaction-table size observed while overload control was on.
+  std::uint64_t transaction_peak = 0;
 };
 
 /// Runs `scenario` once. Deterministic in (scenario, config).

@@ -1,0 +1,390 @@
+// The robustness tier: deterministic fault injection, UA retransmission,
+// proxy overload shedding, and detector warning-storm hardening.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/helgrind.hpp"
+#include "rt/chaos.hpp"
+#include "rt/sim.hpp"
+#include "sip/faults.hpp"
+#include "sip/proxy.hpp"
+#include "sipp/client.hpp"
+#include "sipp/experiment.hpp"
+#include "sipp/scenario.hpp"
+#include "sipp/testcases.hpp"
+#include "support/prng.hpp"
+
+namespace rg {
+namespace {
+
+using sip::FaultConfig;
+using sip::Proxy;
+using sip::ProxyConfig;
+using sipp::CallOutcome;
+using sipp::ChaosClient;
+using sipp::ChaosRunResult;
+using sipp::ExperimentConfig;
+using sipp::ExperimentResult;
+using sipp::MessageFactory;
+using sipp::Scenario;
+
+// --- FaultConfig flag hygiene (satellite) ----------------------------------
+
+TEST(FaultCatalogue, NoneZeroesEveryFlag) {
+  const FaultConfig none = FaultConfig::none();
+  for (bool FaultConfig::*flag : FaultConfig::all_flags())
+    EXPECT_FALSE(none.*flag);
+  EXPECT_FALSE(none.any());
+}
+
+TEST(FaultCatalogue, PaperEnablesTruePositiveClasses) {
+  const FaultConfig paper = FaultConfig::paper();
+  EXPECT_TRUE(paper.any());
+  EXPECT_TRUE(paper.unprotected_domain_map);
+  // all_flags() covers the whole struct (enforced statically too).
+  EXPECT_EQ(FaultConfig::all_flags().size(), sizeof(FaultConfig));
+}
+
+// --- ChaosEngine determinism -----------------------------------------------
+
+TEST(ChaosEngine, PlanIsPureAndOrderIndependent) {
+  rt::ChaosEngine a(rt::ChaosConfig::heavy(42));
+  rt::ChaosEngine b(rt::ChaosConfig::heavy(42));
+  // Query b in reverse order: decisions must still match a's.
+  std::vector<rt::FaultDecision> fwd, rev;
+  for (std::uint64_t m = 0; m < 64; ++m) fwd.push_back(a.plan(m, m % 4));
+  for (std::uint64_t m = 64; m-- > 0;)
+    rev.insert(rev.begin(), b.plan(m, m % 4));
+  for (std::size_t i = 0; i < fwd.size(); ++i) {
+    EXPECT_EQ(fwd[i].drop, rev[i].drop);
+    EXPECT_EQ(fwd[i].duplicate, rev[i].duplicate);
+    EXPECT_EQ(fwd[i].delay_ticks, rev[i].delay_ticks);
+  }
+}
+
+TEST(ChaosEngine, SeedChangesThePlan) {
+  rt::ChaosEngine a(rt::ChaosConfig::heavy(1));
+  rt::ChaosEngine b(rt::ChaosConfig::heavy(2));
+  int differs = 0;
+  for (std::uint64_t m = 0; m < 256; ++m) {
+    const auto da = a.plan(m, 0);
+    const auto db = b.plan(m, 0);
+    if (da.drop != db.drop || da.duplicate != db.duplicate ||
+        da.delay_ticks != db.delay_ticks)
+      ++differs;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(ChaosEngine, NoneIsTransparent) {
+  rt::ChaosEngine engine(rt::ChaosConfig::none(7));
+  for (std::uint64_t m = 0; m < 128; ++m)
+    EXPECT_TRUE(engine.apply(m, 0).clean());
+  engine.stall_point(1);
+  const auto order = engine.delivery_order(1, 16);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+  EXPECT_TRUE(engine.trace().empty());
+  EXPECT_TRUE(engine.trace_text().empty());
+}
+
+TEST(ChaosEngine, TraceRecordsInjections) {
+  rt::ChaosConfig cfg;
+  cfg.seed = 3;
+  cfg.drop_permille = 1000;  // always drop
+  rt::ChaosEngine engine(cfg);
+  (void)engine.apply(11, 0);
+  (void)engine.apply(12, 1);
+  EXPECT_EQ(engine.dropped(), 2u);
+  ASSERT_EQ(engine.trace().size(), 2u);
+  EXPECT_EQ(engine.trace()[0].target, 11u);
+  EXPECT_EQ(engine.trace()[1].attempt, 1u);
+  EXPECT_NE(engine.trace_text().find("drop target=11"), std::string::npos);
+}
+
+// --- end-to-end determinism: same seeds => identical run -------------------
+
+ExperimentConfig chaos_experiment(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.faults = FaultConfig::none();
+  cfg.detector = core::HelgrindConfig::hwlc_dr();
+  cfg.chaos = rt::ChaosConfig::heavy(seed);
+  cfg.parallelism = 4;
+  return cfg;
+}
+
+TEST(ChaosDeterminism, SameSeedReplaysBitIdentically) {
+  const Scenario scenario = sipp::build_testcase(3, 5);
+  const ExperimentConfig cfg = chaos_experiment(5);
+  const ExperimentResult a = sipp::run_scenario(scenario, cfg);
+  const ExperimentResult b = sipp::run_scenario(scenario, cfg);
+  EXPECT_FALSE(a.injection_trace.empty());
+  EXPECT_EQ(a.injection_trace, b.injection_trace);
+  EXPECT_EQ(a.location_keys, b.location_keys);
+  EXPECT_EQ(a.chaos.finals, b.chaos.finals);
+  EXPECT_EQ(a.chaos.give_ups, b.chaos.give_ups);
+  EXPECT_EQ(a.chaos.retransmissions, b.chaos.retransmissions);
+}
+
+TEST(ChaosDeterminism, DifferentChaosSeedDiverges) {
+  const Scenario scenario = sipp::build_testcase(3, 5);
+  ExperimentConfig cfg_a = chaos_experiment(5);
+  ExperimentConfig cfg_b = cfg_a;
+  cfg_b.chaos.seed = 99;
+  const ExperimentResult a = sipp::run_scenario(scenario, cfg_a);
+  const ExperimentResult b = sipp::run_scenario(scenario, cfg_b);
+  EXPECT_NE(a.injection_trace, b.injection_trace);
+}
+
+// --- convergence -----------------------------------------------------------
+
+TEST(ChaosConvergence, CleanProxyConvergesUnderHeavyChaosWithZeroWarnings) {
+  const Scenario scenario = sipp::build_testcase(5, 7);
+  const ExperimentConfig cfg = chaos_experiment(7);
+  const ExperimentResult r = sipp::run_scenario(scenario, cfg);
+  EXPECT_TRUE(r.sim.completed()) << r.sim.error;
+  EXPECT_TRUE(r.chaos.converged());
+  EXPECT_EQ(r.chaos.calls.size(), scenario.total_messages());
+  // Chaos did something...
+  EXPECT_GT(r.chaos.retransmissions, 0u);
+  // ...yet the fixed proxy stays warning-free under HWLC+DR.
+  EXPECT_EQ(r.reported_locations, 0u) << r.report_text;
+}
+
+TEST(ChaosConvergence, PassThroughChaosClientMatchesPerfectNetwork) {
+  const Scenario scenario = sipp::build_testcase(2, 3);
+  ExperimentConfig cfg;
+  cfg.seed = 3;
+  cfg.faults = FaultConfig::none();
+  cfg.detector = core::HelgrindConfig::hwlc_dr();
+  cfg.chaos = rt::ChaosConfig::none(3);
+  cfg.chaos_client = true;  // UA driver, but no injected faults
+  const ExperimentResult r = sipp::run_scenario(scenario, cfg);
+  EXPECT_TRUE(r.chaos.converged());
+  EXPECT_EQ(r.chaos.retransmissions, 0u);
+  EXPECT_EQ(r.chaos.give_ups, 0u);
+  EXPECT_TRUE(r.injection_trace.empty());
+  EXPECT_EQ(r.reported_locations, 0u) << r.report_text;
+}
+
+TEST(ChaosConvergence, TotalLossEndsInTimerBGiveUps) {
+  // A network that eats everything: every call must end in a logged
+  // timer-B/F give-up — convergence without a single response.
+  rt::SimConfig sim_cfg;
+  sim_cfg.sched.seed = 11;
+  rt::Sim sim(sim_cfg);
+  ChaosRunResult result;
+  rt::ChaosConfig chaos_cfg;
+  chaos_cfg.seed = 11;
+  chaos_cfg.drop_permille = 1000;
+  rt::ChaosEngine chaos(chaos_cfg);
+  sim.run([&] {
+    ProxyConfig cfg;
+    cfg.faults = FaultConfig::none();
+    Proxy proxy(cfg);
+    proxy.start();
+    MessageFactory mf;
+    std::vector<std::string> wires;
+    for (int i = 0; i < 6; ++i)
+      wires.push_back(
+          mf.invite("a" + std::to_string(i), "b", "c" + std::to_string(i), 1));
+    sipp::RetransmitTimers timers;
+    timers.t1 = 10;
+    timers.t2 = 40;
+    ChaosClient client(chaos, proxy, timers, 3);
+    result = client.run_phase(wires);
+    proxy.shutdown();
+  });
+  EXPECT_TRUE(result.converged());
+  EXPECT_EQ(result.give_ups, result.calls.size());
+  EXPECT_EQ(result.deliveries, 0u);
+  EXPECT_GT(result.retransmissions, 0u);
+  for (const sipp::CallRecord& rec : result.calls)
+    EXPECT_EQ(rec.outcome, CallOutcome::GaveUp);
+}
+
+// --- overload control ------------------------------------------------------
+
+TEST(Overload, ShedsAboveWatermarkAndStaysUnderIt) {
+  rt::SimConfig sim_cfg;
+  sim_cfg.sched.seed = 17;
+  rt::Sim sim(sim_cfg);
+  ChaosRunResult result;
+  std::uint64_t sheds = 0, peak = 0, tx_size_after = 0;
+  rt::ChaosEngine chaos(rt::ChaosConfig::none(17));
+  const std::size_t kWatermark = 4;
+  sim.run([&] {
+    ProxyConfig cfg;
+    cfg.faults = FaultConfig::none();
+    cfg.overload.tx_watermark = kWatermark;
+    cfg.reap_every = 0;  // no in-line reaping: pressure stays visible
+    Proxy proxy(cfg);
+    proxy.start();
+    MessageFactory mf;
+    // INVITE flood without ACKs: transactions park in Completed and hold
+    // table slots, exactly the unbounded-growth overload case.
+    std::vector<std::string> wires;
+    for (int i = 0; i < 32; ++i)
+      wires.push_back(mf.invite("caller" + std::to_string(i), "nobody",
+                                "oc" + std::to_string(i), 1));
+    ChaosClient client(chaos, proxy, {}, 8);
+    result = client.run_phase(wires);
+    sheds = proxy.stats().sheds();
+    peak = proxy.stats().transaction_peak();
+    tx_size_after = proxy.transactions().size();
+    proxy.shutdown();
+  });
+  EXPECT_TRUE(result.converged());
+  EXPECT_GT(result.shed, 0u);
+  EXPECT_GT(sheds, 0u);
+  EXPECT_EQ(result.shed, sheds);
+  EXPECT_LE(peak, kWatermark);
+  EXPECT_LE(tx_size_after, kWatermark);
+  EXPECT_EQ(result.finals + result.shed, result.calls.size());
+}
+
+TEST(Overload, InflightWatermarkLimitsConcurrentWork) {
+  rt::SimConfig sim_cfg;
+  sim_cfg.sched.seed = 23;
+  rt::Sim sim(sim_cfg);
+  std::uint64_t sheds = 0;
+  sim.run([&] {
+    ProxyConfig cfg;
+    cfg.faults = FaultConfig::none();
+    cfg.overload.inflight_watermark = 1;
+    Proxy proxy(cfg);
+    proxy.start();
+    MessageFactory mf;
+    std::vector<rt::thread> workers;
+    for (int i = 0; i < 8; ++i)
+      workers.emplace_back([&proxy, &mf, i] {
+        (void)proxy.handle_wire(mf.invite("w" + std::to_string(i), "nobody",
+                                          "ic" + std::to_string(i), 1));
+      });
+    for (auto& w : workers) w.join();
+    sheds = proxy.stats().sheds();
+    proxy.shutdown();
+  });
+  // With the deterministic scheduler interleaving 8 workers, at least one
+  // request observed another in flight and was shed.
+  EXPECT_GT(sheds, 0u);
+}
+
+TEST(Overload, ZeroWatermarksDisableShedding) {
+  rt::Sim sim;
+  sim.run([&] {
+    ProxyConfig cfg;
+    cfg.faults = FaultConfig::none();
+    Proxy proxy(cfg);
+    proxy.start();
+    MessageFactory mf;
+    for (int i = 0; i < 20; ++i)
+      (void)proxy.handle_wire(mf.invite("a" + std::to_string(i), "nobody",
+                                        "zc" + std::to_string(i), 1));
+    EXPECT_EQ(proxy.stats().sheds(), 0u);
+    EXPECT_EQ(proxy.stats().responses_5xx(), 0u);
+    proxy.shutdown();
+  });
+}
+
+// --- detector warning-storm hardening --------------------------------------
+
+TEST(WarningStorm, ReportCapBoundsStoredLocations) {
+  const Scenario scenario = sipp::build_testcase(5, 3);
+  ExperimentConfig base;
+  base.seed = 3;
+  base.faults = FaultConfig::paper();
+  base.detector = core::HelgrindConfig::original();
+  const ExperimentResult uncapped = sipp::run_scenario(scenario, base);
+  ASSERT_GT(uncapped.reported_locations, 2u);
+
+  ExperimentConfig capped = base;
+  capped.report_cap = 2;
+  const ExperimentResult r = sipp::run_scenario(scenario, capped);
+  EXPECT_EQ(r.reported_locations, 2u);
+  EXPECT_GT(r.report_overflow, 0u);
+  // overflow_ counts every suppressed *warning*; each of the locations the
+  // cap dropped produced at least one, so it bounds the distinct count.
+  EXPECT_GE(r.report_overflow + 2u, uncapped.reported_locations);
+  EXPECT_NE(r.report_text.find("further reports suppressed"),
+            std::string::npos);
+  // The stored prefix matches the uncapped run's first locations.
+  ASSERT_GE(uncapped.location_keys.size(), 2u);
+  EXPECT_EQ(r.location_keys[0], uncapped.location_keys[0]);
+  EXPECT_EQ(r.location_keys[1], uncapped.location_keys[1]);
+}
+
+// --- proxy wire-input robustness (satellite) -------------------------------
+
+TEST(FuzzSmoke, MalformedAndTruncatedWireNeverCrashesHandleWire) {
+  rt::Sim sim;
+  sim.run([&] {
+    ProxyConfig cfg;
+    cfg.faults = FaultConfig::none();
+    Proxy proxy(cfg);
+    proxy.start();
+    MessageFactory mf;
+    support::Xoshiro256 rng(0xF022);  // fixed seed: reproducible corpus
+    std::vector<std::string> seeds = {
+        mf.register_request("alice", "f1", 1),
+        mf.invite("alice", "bob", "f2", 1),
+        mf.ack("alice", "bob", "f2", 1),
+        mf.bye("alice", "bob", "f2", 2),
+        mf.options("alice", "f3", 1),
+        mf.garbage(0),
+        mf.garbage(1),
+    };
+    std::size_t checked = 0;
+    for (const std::string& seed_wire : seeds) {
+      for (int round = 0; round < 60; ++round) {
+        std::string mutated = seed_wire;
+        switch (rng.below(4)) {
+          case 0:  // truncate
+            mutated.resize(rng.below(mutated.size() + 1));
+            break;
+          case 1:  // flip bytes
+            for (int flips = 0; flips < 4 && !mutated.empty(); ++flips)
+              mutated[rng.below(mutated.size())] =
+                  static_cast<char>(rng.below(256));
+            break;
+          case 2: {  // delete a range
+            if (mutated.empty()) break;
+            const std::size_t at = rng.below(mutated.size());
+            mutated.erase(at, rng.below(mutated.size() - at + 1));
+            break;
+          }
+          default: {  // duplicate a range
+            if (mutated.empty()) break;
+            const std::size_t at = rng.below(mutated.size());
+            const std::size_t len =
+                rng.below(std::min<std::size_t>(32, mutated.size() - at) + 1);
+            mutated.insert(at, mutated.substr(at, len));
+            break;
+          }
+        }
+        const std::string out = proxy.handle_wire(mutated);
+        // Invariant: absorbed, or a well-formed SIP response (a 400 for
+        // everything the parser rejects). Never a crash, never garbage out.
+        if (!out.empty()) {
+          EXPECT_EQ(out.compare(0, 8, "SIP/2.0 "), 0) << "input:\n"
+                                                      << mutated;
+        }
+        ++checked;
+      }
+    }
+    EXPECT_EQ(checked, seeds.size() * 60);
+    // Pure garbage always earns a 400.
+    for (int v = 0; v < 5; ++v) {
+      const std::string out = proxy.handle_wire(mf.garbage(v));
+      if (!out.empty()) {
+        EXPECT_EQ(out.compare(0, 12, "SIP/2.0 400 "), 0);
+      }
+    }
+    proxy.shutdown();
+  });
+}
+
+}  // namespace
+}  // namespace rg

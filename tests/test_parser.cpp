@@ -3,6 +3,7 @@
 
 #include "sip/parser.hpp"
 #include "sipp/scenario.hpp"
+#include "support/prng.hpp"
 
 namespace rg::sip {
 namespace {
@@ -237,6 +238,59 @@ TEST(Factory, AckSharesInviteBranch) {
   ASSERT_TRUE(invite.ok() && ack.ok());
   EXPECT_EQ(via_branch(invite.message->header("via").str()),
             via_branch(ack.message->header("via").str()));
+}
+
+// --- deterministic fuzz smoke -----------------------------------------------------
+//
+// parse_message must be total: any byte soup either parses or yields a
+// ParseResult error — never a crash, never an out-of-range read. The corpus
+// is seeded so a failure reproduces exactly.
+
+TEST(ParserFuzz, MutatedWireNeverCrashes) {
+  sipp::MessageFactory mf;
+  support::Xoshiro256 rng(0xBADC0DE);
+  const std::vector<std::string> seeds = {
+      mf.register_request("alice", "fz1", 1),
+      mf.invite("alice", "bob", "fz2", 1),
+      mf.bye("alice", "bob", "fz2", 2),
+      mf.options("alice", "fz3", 1),
+      "SIP/2.0 200 OK\r\nContent-Length: 3\r\n\r\nabc",
+  };
+  for (const std::string& seed : seeds) {
+    for (int round = 0; round < 100; ++round) {
+      std::string wire = seed;
+      const std::uint64_t op = rng.below(4);
+      if (op == 0) {
+        wire.resize(rng.below(wire.size() + 1));
+      } else if (op == 1) {
+        for (int flips = 0; flips < 6 && !wire.empty(); ++flips)
+          wire[rng.below(wire.size())] = static_cast<char>(rng.below(256));
+      } else if (op == 2 && !wire.empty()) {
+        const std::size_t at = rng.below(wire.size());
+        wire.erase(at, rng.below(wire.size() - at + 1));
+      } else if (!wire.empty()) {
+        const std::size_t at = rng.below(wire.size());
+        wire.insert(at, wire.substr(at, rng.below(64)));
+      }
+      const ParseResult r = parse_message(wire);
+      if (!r.ok())
+        EXPECT_FALSE(r.error.empty()) << wire;
+      else
+        ASSERT_NE(r.message, nullptr) << wire;
+    }
+  }
+}
+
+TEST(ParserFuzz, RandomByteSoupIsRejectedOrParsed) {
+  support::Xoshiro256 rng(0x50157);
+  for (int round = 0; round < 200; ++round) {
+    std::string wire(rng.below(300), '\0');
+    for (char& c : wire) c = static_cast<char>(rng.below(256));
+    const ParseResult r = parse_message(wire);
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
 }
 
 TEST(Factory, GarbageVariantsDoNotParseAsValidSip) {

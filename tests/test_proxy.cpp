@@ -263,6 +263,79 @@ TEST(Proxy, ReaperExpiresBindingsOverTime) {
   });
 }
 
+TEST(Proxy, ShutdownWithoutStartIsSafe) {
+  rt::Sim sim;
+  sim.run([&] {
+    Proxy proxy(clean_config());
+    proxy.shutdown();  // never started: must be a no-op, not an assert
+    proxy.shutdown();
+  });
+}
+
+TEST(Proxy, DoubleShutdownIsIdempotent) {
+  rt::Sim sim;
+  sim.run([&] {
+    Proxy proxy(clean_config());
+    proxy.start();
+    sipp::MessageFactory mf;
+    proxy.handle_wire(mf.register_request("alice", "c1", 1));
+    proxy.shutdown();
+    proxy.shutdown();  // second call must be a no-op
+  });
+}
+
+TEST(Proxy, ShutdownThenRestartServesTraffic) {
+  rt::Sim sim;
+  sim.run([&] {
+    Proxy proxy(clean_config());
+    proxy.start();
+    proxy.shutdown();
+    proxy.start();
+    sipp::MessageFactory mf;
+    EXPECT_EQ(status_of(proxy.handle_wire(mf.options("a", "c", 1))), 200);
+    proxy.shutdown();
+  });
+}
+
+TEST(Proxy, OverloadShedsWith503RetryAfter) {
+  rt::Sim sim;
+  sim.run([&] {
+    ProxyConfig cfg = clean_config();
+    cfg.overload.tx_watermark = 1;
+    Proxy proxy(cfg);
+    proxy.start();
+    sipp::MessageFactory mf;
+    // First INVITE occupies the only transaction slot (no ACK, so it stays
+    // in Completed); the second must be shed statelessly.
+    EXPECT_EQ(status_of(proxy.handle_wire(mf.invite("a", "ghost", "c1", 1))),
+              404);
+    const std::string shed = proxy.handle_wire(mf.invite("b", "ghost", "c2", 1));
+    EXPECT_EQ(status_of(shed), 503);
+    EXPECT_NE(shed.find("Retry-After: 5"), std::string::npos);
+    EXPECT_EQ(proxy.stats().sheds(), 1u);
+    EXPECT_EQ(proxy.stats().responses_5xx(), 1u);
+    EXPECT_EQ(proxy.transactions().size(), 1u);
+    proxy.shutdown();
+  });
+}
+
+TEST(Proxy, ShedResponseCarriesConfiguredRetryAfter) {
+  rt::Sim sim;
+  sim.run([&] {
+    ProxyConfig cfg = clean_config();
+    cfg.overload.tx_watermark = 1;
+    cfg.overload.retry_after_s = 120;
+    Proxy proxy(cfg);
+    proxy.start();
+    sipp::MessageFactory mf;
+    proxy.handle_wire(mf.invite("a", "ghost", "c1", 1));
+    EXPECT_NE(proxy.handle_wire(mf.invite("b", "ghost", "c2", 1))
+                  .find("Retry-After: 120"),
+              std::string::npos);
+    proxy.shutdown();
+  });
+}
+
 TEST(Proxy, CleanBuildIsRaceFreeUnderDetector) {
   // With every fault disabled and annotations honoured, the HWLC+DR
   // detector must stay quiet over a realistic mixed workload — the "all

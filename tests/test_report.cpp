@@ -143,6 +143,62 @@ TEST(Suppressions, ToolNamePrefix) {
   EXPECT_TRUE(other_tool.add(r));  // different tool name: no match
 }
 
+// --- report cap (warning-storm hardening) ------------------------------------------
+
+TEST(ReportCap, NewLocationsBeyondCapAreCounted) {
+  ReportManager mgr;
+  mgr.set_report_cap(2);
+  EXPECT_TRUE(mgr.add(make_report("a", 1)));
+  EXPECT_TRUE(mgr.add(make_report("b", 2)));
+  EXPECT_FALSE(mgr.add(make_report("c", 3)));  // over cap: dropped
+  EXPECT_FALSE(mgr.add(make_report("d", 4)));
+  EXPECT_EQ(mgr.distinct_locations(), 2u);
+  EXPECT_EQ(mgr.overflow_reports(), 2u);
+  EXPECT_EQ(mgr.total_warnings(), 4u);  // warnings still counted
+}
+
+TEST(ReportCap, DuplicatesStillFoldAtCap) {
+  // A repeat of an already-stored location folds into it even when the
+  // table is full — only *new* locations overflow.
+  ReportManager mgr;
+  mgr.set_report_cap(1);
+  EXPECT_TRUE(mgr.add(make_report("a", 1)));
+  EXPECT_FALSE(mgr.add(make_report("a", 1)));  // dedup fold, not overflow
+  EXPECT_EQ(mgr.overflow_reports(), 0u);
+  ASSERT_EQ(mgr.reports().size(), 1u);
+  EXPECT_EQ(mgr.reports()[0].occurrences, 2u);
+}
+
+TEST(ReportCap, ZeroCapMeansUnlimited) {
+  ReportManager mgr;
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(mgr.add(make_report("f", i + 1)));
+  EXPECT_EQ(mgr.distinct_locations(), 50u);
+  EXPECT_EQ(mgr.overflow_reports(), 0u);
+}
+
+TEST(ReportCap, RenderSummarisesSuppressedTail) {
+  ReportManager mgr;
+  mgr.set_report_cap(1);
+  mgr.add(make_report("kept", 1));
+  mgr.add(make_report("dropped1", 2));
+  mgr.add(make_report("dropped2", 3));
+  rt::Runtime rt;
+  const std::string text = mgr.render(rt);
+  EXPECT_NE(text.find("kept"), std::string::npos);
+  EXPECT_EQ(text.find("dropped1"), std::string::npos);
+  EXPECT_NE(text.find("2 further reports suppressed"), std::string::npos);
+  EXPECT_NE(text.find("report cap of 1"), std::string::npos);
+}
+
+TEST(ReportCap, NoTailLineWithoutOverflow) {
+  ReportManager mgr;
+  mgr.set_report_cap(5);
+  mgr.add(make_report("a", 1));
+  rt::Runtime rt;
+  EXPECT_EQ(mgr.render(rt).find("further reports suppressed"),
+            std::string::npos);
+}
+
 // --- rendering ----------------------------------------------------------------------
 
 TEST(Rendering, IncludesFramesAndCounts) {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 CI: regular build + full test suite, then an ASan+UBSan build.
+#
+# Usage: tools/ci.sh [--fast]
+#   --fast   skip the chaos-labelled tests in the sanitizer pass (they run
+#            the full fault-injection scenarios and dominate its runtime)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: configure + build + ctest =="
+cmake --preset default
+cmake --build --preset default -j
+ctest --preset default -j
+
+echo "== sanitize: ASan + UBSan build + ctest =="
+cmake --preset sanitize
+cmake --build --preset sanitize -j
+if [[ "$FAST" == 1 ]]; then
+  ctest --preset sanitize-fast -j
+else
+  ctest --preset sanitize -j
+fi
+
+echo "CI OK"
