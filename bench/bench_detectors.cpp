@@ -15,6 +15,7 @@
 #include "sip/dispatch.hpp"
 #include "sip/proxy.hpp"
 #include "sipp/testcases.hpp"
+#include "support/bench_json.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -91,5 +92,14 @@ int main(int argc, char** argv) {
               total_eraser, total_orig, total_dr, total_djit);
   const bool shape = total_eraser >= total_orig && total_orig >= total_dr;
   std::printf("-> %s\n", shape ? "MATCHES the paper" : "DIVERGES");
+
+  support::BenchJson json("detectors");
+  json.add("seed", seed);
+  json.add("total_eraser", total_eraser);
+  json.add("total_original", total_orig);
+  json.add("total_hwlc_dr", total_dr);
+  json.add("total_djit", total_djit);
+  json.add("matches_paper", shape ? "true" : "false");
+  json.write();
   return shape ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "rt/sim.hpp"
 #include "rt/sync.hpp"
 #include "rt/thread.hpp"
+#include "support/bench_json.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -84,5 +85,12 @@ int main(int argc, char** argv) {
       "schedules (\"not guaranteed to happen in the development\n"
       "environment\") while basic Eraser reports it under every one -> %s\n",
       shape ? "MATCHES the paper" : "DIVERGES");
+
+  support::BenchJson json("false_negative");
+  json.add("seeds", seeds);
+  json.add("helgrind_hits", helgrind_hits);
+  json.add("eraser_hits", eraser_hits);
+  json.add("matches_paper", shape ? "true" : "false");
+  json.write();
   return shape ? 0 : 1;
 }

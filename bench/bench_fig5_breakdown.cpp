@@ -11,6 +11,7 @@
 
 #include "sipp/experiment.hpp"
 #include "sipp/testcases.hpp"
+#include "support/bench_json.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
@@ -24,26 +25,36 @@ int main(int argc, char** argv) {
   sipp::ExperimentConfig base;
   base.seed = seed;
 
+  // All 8 x 3 cells fanned over a pool, computed once for both renditions.
+  std::vector<int> cases;
+  for (int n = 1; n <= sipp::kTestCaseCount; ++n) cases.push_back(n);
+  const std::vector<sipp::Fig6Row> rows = sipp::run_fig6_rows(cases, base);
+
+  support::BenchJson json("fig5_breakdown");
+  json.add("seed", seed);
+
   support::Table table("Fig. 5 — stacked composition");
   table.header({"Test case", "FP (hardware lock)", "FP (destructor)",
                 "correctly reported", "total"});
-  for (int n = 1; n <= sipp::kTestCaseCount; ++n) {
-    const sipp::Fig6Row row = sipp::run_fig6_row(n, base);
+  for (const sipp::Fig6Row& row : rows) {
     table.row(row.testcase, row.hw_lock_fps, row.destructor_fps,
               row.remaining,
               row.hw_lock_fps + row.destructor_fps + row.remaining);
+    json.add(row.testcase + "_hw_lock_fps", row.hw_lock_fps);
+    json.add(row.testcase + "_destructor_fps", row.destructor_fps);
+    json.add(row.testcase + "_remaining", row.remaining);
   }
   std::printf("%s\n", table.render().c_str());
 
   // ASCII rendition of the stacked bars (the paper's chart).
   std::printf("Stacked bars (#=correct, d=destructor FP, h=hw-lock FP):\n");
-  for (int n = 1; n <= sipp::kTestCaseCount; ++n) {
-    const sipp::Fig6Row row = sipp::run_fig6_row(n, base);
+  for (const sipp::Fig6Row& row : rows) {
     std::string bar;
     bar.append(row.remaining, '#');
     bar.append(row.destructor_fps, 'd');
     bar.append(row.hw_lock_fps, 'h');
     std::printf("  %-3s |%s\n", row.testcase.c_str(), bar.c_str());
   }
+  json.write();
   return 0;
 }

@@ -12,12 +12,15 @@
 
 #include "sipp/experiment.hpp"
 #include "sipp/testcases.hpp"
+#include "support/bench_json.hpp"
 #include "support/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace rg;
   std::uint64_t seed = 7;
+  std::size_t workers = 0;  // 0 = hardware concurrency
   if (argc > 1) seed = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) workers = std::strtoull(argv[2], nullptr, 10);
 
   std::printf("Fig. 6 — reported possible data race locations\n");
   std::printf("(seed %llu; paper values for reference: T1 483/448/120 ... "
@@ -30,15 +33,26 @@ int main(int argc, char** argv) {
   support::Table table("Fig. 6 — warnings per configuration");
   table.header({"Test case", "Original", "HWLC", "HWLC+DR", "reduction"});
 
+  // The 8 x 3 experiment cells are independent Sims; fan them over a pool
+  // (per-cell determinism unchanged — see run_fig6_rows).
+  std::vector<int> cases;
+  for (int n = 1; n <= sipp::kTestCaseCount; ++n) cases.push_back(n);
+  const std::vector<sipp::Fig6Row> rows =
+      sipp::run_fig6_rows(cases, base, workers);
+
+  support::BenchJson json("fig6_table");
+  json.add("seed", seed);
   double min_reduction = 1.0, max_reduction = 0.0;
-  for (int n = 1; n <= sipp::kTestCaseCount; ++n) {
-    const sipp::Fig6Row row = sipp::run_fig6_row(n, base);
+  for (const sipp::Fig6Row& row : rows) {
     char reduction[16];
     std::snprintf(reduction, sizeof reduction, "%.0f%%",
                   row.reduction() * 100.0);
     table.row(row.testcase, row.original, row.hwlc, row.hwlc_dr, reduction);
     min_reduction = std::min(min_reduction, row.reduction());
     max_reduction = std::max(max_reduction, row.reduction());
+    json.add(row.testcase + "_original", row.original);
+    json.add(row.testcase + "_hwlc", row.hwlc);
+    json.add(row.testcase + "_hwlc_dr", row.hwlc_dr);
   }
   std::printf("%s\n", table.render().c_str());
   std::printf(
@@ -47,5 +61,8 @@ int main(int argc, char** argv) {
       "warnings\")\n\n",
       min_reduction * 100.0, max_reduction * 100.0);
   std::printf("CSV:\n%s", table.render_csv().c_str());
+  json.add("min_reduction", min_reduction);
+  json.add("max_reduction", max_reduction);
+  json.write();
   return 0;
 }

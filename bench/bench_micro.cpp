@@ -4,6 +4,8 @@
 // scheduler context switches, SIP parsing.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "core/helgrind.hpp"
 #include "rt/memory.hpp"
 #include "rt/sim.hpp"
@@ -13,7 +15,10 @@
 #include "shadow/segments.hpp"
 #include "shadow/shadow_map.hpp"
 #include "sip/parser.hpp"
+#include "sipp/experiment.hpp"
 #include "sipp/scenario.hpp"
+#include "sipp/testcases.hpp"
+#include "support/bench_json.hpp"
 
 namespace {
 
@@ -134,4 +139,42 @@ BENCHMARK(BM_SimContextSwitch)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // Hot-path cache effectiveness on a real detector run (T1, HWLC+DR):
+  // the microbenchmarks above time the primitives, these counters show how
+  // often the fast paths actually hit under proxy traffic.
+  rg::sipp::ExperimentConfig cfg;
+  cfg.seed = 7;
+  cfg.detector = rg::core::HelgrindConfig::hwlc_dr();
+  const rg::sipp::ExperimentResult r =
+      rg::sipp::run_scenario(rg::sipp::build_testcase(1, cfg.seed), cfg);
+  const rg::rt::ToolStats stats = r.tool_stats;
+  std::printf(
+      "\nhot-path counters (T1, HWLC+DR, seed %llu):\n"
+      "  sched fast-path steps   %llu / %llu\n"
+      "  lockset cache hit/miss  %llu / %llu\n"
+      "  shadow TLB hit/miss     %llu / %llu\n",
+      static_cast<unsigned long long>(cfg.seed),
+      static_cast<unsigned long long>(r.sim.fast_path_steps),
+      static_cast<unsigned long long>(r.sim.steps),
+      static_cast<unsigned long long>(stats.lockset_cache_hits),
+      static_cast<unsigned long long>(stats.lockset_cache_misses),
+      static_cast<unsigned long long>(stats.shadow_tlb_hits),
+      static_cast<unsigned long long>(stats.shadow_tlb_misses));
+
+  rg::support::BenchJson json("micro");
+  json.add("seed", cfg.seed);
+  json.add("sched_fast_path_steps", r.sim.fast_path_steps);
+  json.add("sched_steps", r.sim.steps);
+  json.add("lockset_cache_hits", stats.lockset_cache_hits);
+  json.add("lockset_cache_misses", stats.lockset_cache_misses);
+  json.add("shadow_tlb_hits", stats.shadow_tlb_hits);
+  json.add("shadow_tlb_misses", stats.shadow_tlb_misses);
+  json.write();
+  return 0;
+}

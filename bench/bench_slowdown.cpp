@@ -10,12 +10,14 @@
 // that detection dominates the added cost.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "core/helgrind.hpp"
 #include "rt/sim.hpp"
 #include "sip/dispatch.hpp"
 #include "sip/proxy.hpp"
 #include "sipp/testcases.hpp"
+#include "support/bench_json.hpp"
 #include "support/stats.hpp"
 #include "support/table.hpp"
 
@@ -62,8 +64,13 @@ int main(int argc, char** argv) {
   using namespace rg;
   std::size_t repeats = 3;
   int rounds = 3;
-  if (argc > 1) repeats = std::strtoull(argv[1], nullptr, 10);
-  if (argc > 2) rounds = std::atoi(argv[2]);
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    repeats = 1;
+    rounds = 1;
+  } else {
+    if (argc > 1) repeats = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2) rounds = std::atoi(argv[2]);
+  }
 
   std::printf("§4.5 — execution overhead (workload: T5 x %zu, best of %d)\n\n",
               repeats, rounds);
@@ -101,5 +108,17 @@ int main(int argc, char** argv) {
       "Note: absolute factors are substrate-dependent; Valgrind pays binary\n"
       "translation per instruction, our VM pays a scheduling point per\n"
       "instrumented operation.\n");
+
+  support::BenchJson json("slowdown");
+  json.add("seed", std::uint64_t{3});
+  json.add("repeats", repeats);
+  json.add("rounds", rounds);
+  json.add("native_s", native.min());
+  json.add("vm_only_s", vm_only.min());
+  json.add("vm_helgrind_s", vm_helgrind.min());
+  json.add("vm_only_slowdown", vm_only.min() / base);
+  json.add("vm_helgrind_slowdown", vm_helgrind.min() / base);
+  json.add("ordered", ordered ? "true" : "false");
+  json.write();
   return ordered ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include "rt/sim.hpp"
 #include "rt/thread.hpp"
 #include "sip/cow_string.hpp"
+#include "support/bench_json.hpp"
 
 namespace {
 
@@ -70,5 +71,11 @@ int main() {
               original >= 1 ? "[yes]" : "[NO]",
               corrected == 0 ? "[yes]" : "[NO]",
               shape_holds ? "MATCHES the paper" : "DIVERGES");
+
+  rg::support::BenchJson json("stringtest");
+  json.add("original_warnings", original);
+  json.add("hwlc_warnings", corrected);
+  json.add("matches_paper", shape_holds ? "true" : "false");
+  json.write();
   return shape_holds ? 0 : 1;
 }

@@ -58,7 +58,29 @@ inline const char* to_string(LockMode m) {
 /// event carries the client code position, like Valgrind's debug-info
 /// lookup does for Helgrind.
 inline support::SiteId site_of(const std::source_location& loc) {
-  return support::site_id(loc.function_name(), loc.file_name(), loc.line());
+  // Per-thread memo keyed by the location's string-literal pointers (stable
+  // per call site): repeat events skip the interner and registry locks.
+  // Distinct literals with equal text fall through to site_id(), which
+  // dedupes by content, so collisions only cost a probe — never a wrong id.
+  struct CacheEntry {
+    const char* function = nullptr;
+    const char* file = nullptr;
+    std::uint32_t line = 0;
+    support::SiteId id = 0;
+  };
+  constexpr std::size_t kSlots = 512;  // power of two
+  thread_local CacheEntry cache[kSlots];
+  const char* function = loc.function_name();
+  const char* file = loc.file_name();
+  const std::uint32_t line = loc.line();
+  const std::size_t h =
+      (reinterpret_cast<std::uintptr_t>(function) >> 4) * 31u ^
+      (reinterpret_cast<std::uintptr_t>(file) >> 4) ^ line;
+  CacheEntry& e = cache[h & (kSlots - 1)];
+  if (e.function == function && e.file == file && e.line == line) return e.id;
+  const support::SiteId id = support::site_id(function, file, line);
+  e = CacheEntry{function, file, line, id};
+  return id;
 }
 
 }  // namespace rg::rt

@@ -217,4 +217,10 @@ void Runtime::finish() {
   for (Tool* t : tools_) t->on_finish();
 }
 
+ToolStats Runtime::tool_stats() const {
+  ToolStats total;
+  for (const Tool* t : tools_) total += t->stats();
+  return total;
+}
+
 }  // namespace rg::rt

@@ -85,6 +85,7 @@ class Runtime {
   const support::small_vector<HeldLock, 4>& held_locks(ThreadId tid) const;
   std::string_view lock_name(LockId lock) const;
   std::size_t lock_count() const { return locks_.size(); }
+  bool lock_is_rw(LockId lock) const { return locks_[lock].is_rw; }
 
   // --- other sync objects --------------------------------------------------
   SyncId register_sync(std::string_view name);
@@ -124,6 +125,8 @@ class Runtime {
   // --- statistics --------------------------------------------------------------
   std::uint64_t access_events() const { return access_events_; }
   std::uint64_t sync_events() const { return sync_events_; }
+  /// Cache counters summed over every attached tool.
+  ToolStats tool_stats() const;
 
  private:
   struct ThreadInfo {

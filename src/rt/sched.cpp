@@ -1,17 +1,38 @@
 #include "rt/sched.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "support/assert.hpp"
 #include "support/small_vector.hpp"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define RG_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define RG_ASAN_FIBERS 1
+#endif
+#endif
+
+#if defined(RG_ASAN_FIBERS)
+#include <pthread.h>
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace rg::rt {
 
 namespace {
-/// OS-thread-local simulated-thread identity. Unlike `current_` (which
-/// tracks the baton), this stays correct during teardown, when every
-/// simulated thread unwinds concurrently.
+/// Carrier-thread-local simulated-thread identity, updated at every fiber
+/// switch. Valid even during teardown, when fibers unwind in turn.
 thread_local ThreadId g_tls_tid = kNoThread;
+
+/// Fiber stack size. Fibers run real proxy/request code, so leave ample
+/// headroom; pages are only committed when touched.
+constexpr std::size_t kFiberStackSize = 256 * 1024;
+
+/// Upper bound on one fast-path grant; keeps the Random pre-count loop and
+/// the drain replay loop short. Budgets regrant at the next slow step.
+constexpr std::uint64_t kMaxFastGrant = 4096;
 }  // namespace
 
 std::string DeadlockEvidence::describe() const {
@@ -29,256 +50,461 @@ std::string DeadlockEvidence::describe() const {
 }
 
 Scheduler::Scheduler(const SchedConfig& config)
-    : config_(config), rng_(config.seed) {}
+    : config_(config),
+      rng_(config.seed),
+      switch_chance_num_(
+          static_cast<std::uint64_t>(config.switch_probability * 1'000'000)) {}
 
-Scheduler::~Scheduler() {
-  for (auto& t : threads_)
-    if (t->sys.joinable()) t->sys.join();
-}
+Scheduler::~Scheduler() = default;
 
 Scheduler::SimThread& Scheduler::slot(ThreadId tid) {
   RG_ASSERT_MSG(tid < threads_.size(), "unknown simulated thread");
   return *threads_[tid];
 }
 
+const Scheduler::SimThread& Scheduler::slot(ThreadId tid) const {
+  RG_ASSERT_MSG(tid < threads_.size(), "unknown simulated thread");
+  return *threads_[tid];
+}
+
+bool Scheduler::all_finished() const {
+  return std::all_of(threads_.begin(), threads_.end(), [](const auto& t) {
+    return t->state == RunState::Finished;
+  });
+}
+
 void Scheduler::run(ThreadId main_tid, const std::function<void()>& entry) {
+  RG_ASSERT_MSG(threads_.empty(), "scheduler already ran");
+  auto main = std::make_unique<SimThread>();
+  main->id = main_tid;
+  main->state = RunState::Running;
+#if defined(RG_ASAN_FIBERS)
   {
-    std::unique_lock lock(mu_);
-    RG_ASSERT_MSG(threads_.empty(), "scheduler already ran");
-    auto main = std::make_unique<SimThread>();
-    main->id = main_tid;
-    main->state = RunState::Running;
-    main->baton = true;
-    threads_.push_back(std::move(main));
-    main_tid_ = main_tid;
-    current_ = main_tid;
+    // The carrier's native stack bounds, for fiber-switch annotations.
+    pthread_attr_t attr;
+    if (pthread_getattr_np(pthread_self(), &attr) == 0) {
+      void* base = nullptr;
+      std::size_t size = 0;
+      if (pthread_attr_getstack(&attr, &base, &size) == 0) {
+        main->stack_bottom = base;
+        main->stack_size = size;
+      }
+      pthread_attr_destroy(&attr);
+    }
   }
+#endif
+  threads_.push_back(std::move(main));
+  main_tid_ = main_tid;
+  current_ = main_tid;
   g_tls_tid = main_tid;
 
   try {
     entry();
   } catch (const SimAbort&) {
-    // Outcome was already recorded by global_abort_locked.
+    // Outcome was already recorded by global_abort.
   } catch (const std::exception& e) {
-    std::unique_lock lock(mu_);
-    if (!aborting_) global_abort_locked(SimOutcome::ClientError, e.what());
+    if (!aborting_.load(std::memory_order_relaxed))
+      global_abort(SimOutcome::ClientError, e.what());
   }
 
-  {
-    std::unique_lock lock(mu_);
-    finish_thread_locked(slot(main_tid));
-    controller_cv_.wait(lock, [&] {
-      return std::all_of(threads_.begin(), threads_.end(), [](const auto& t) {
-        return t->state == RunState::Finished;
-      });
-    });
+  SimThread& me = slot(main_tid);
+  finish_thread(me);
+  // Main's entry has returned but other threads may still have work (or
+  // need to unwind). Keep scheduling them from here until everyone is done;
+  // fibers transfer control back to this frame when nothing remains.
+  while (!all_finished()) {
+    if (!aborting_.load(std::memory_order_relaxed)) {
+      service_sleepers();
+      SimThread* next = pick_next(nullptr, /*allow_current=*/false);
+      if (next == nullptr) {
+        record_deadlock();
+        global_abort(SimOutcome::Deadlocked, "deadlock");
+        continue;
+      }
+      hand_off(me, *next);
+      continue;
+    }
+    // Teardown: resume unfinished workers so each unwinds in turn.
+    SimThread* next = nullptr;
+    for (const auto& t : threads_)
+      if (t->id != main_tid_ && t->state != RunState::Finished) {
+        next = t.get();
+        break;
+      }
+    RG_ASSERT_MSG(next != nullptr, "unfinished run with no threads left");
+    jump(me, *next, /*from_dying=*/false);
   }
-
-  for (auto& t : threads_)
-    if (t->sys.joinable()) t->sys.join();
   g_tls_tid = kNoThread;
 }
 
+void Scheduler::fiber_main_trampoline(unsigned hi, unsigned lo, unsigned tid) {
+  auto self = reinterpret_cast<Scheduler*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->fiber_main(static_cast<ThreadId>(tid));
+}
+
 void Scheduler::spawn(ThreadId tid, std::function<void()> fn) {
-  std::unique_lock lock(mu_);
-  RG_ASSERT_MSG(!aborting_, "spawn during teardown");
+  RG_ASSERT_MSG(!aborting_.load(std::memory_order_relaxed),
+                "spawn during teardown");
   RG_ASSERT_MSG(tid == threads_.size(),
                 "thread ids must be registered in creation order");
+  drain_fast_budget();  // the new thread changes the runnable set
   auto t = std::make_unique<SimThread>();
   t->id = tid;
   t->state = RunState::Runnable;
   t->fn = std::move(fn);
-  SimThread* raw = t.get();
+  // Default-initialized (not zeroed): pages commit only when touched.
+  t->stack.reset(new char[kFiberStackSize]);
+  t->stack_bottom = t->stack.get();
+  t->stack_size = kFiberStackSize;
+  RG_ASSERT_MSG(getcontext(&t->ctx) == 0, "getcontext failed");
+  t->ctx.uc_stack.ss_sp = t->stack.get();
+  t->ctx.uc_stack.ss_size = kFiberStackSize;
+  t->ctx.uc_link = nullptr;  // fibers exit via fiber_exit, never by return
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&t->ctx, reinterpret_cast<void (*)()>(&fiber_main_trampoline), 3,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu),
+              static_cast<unsigned>(tid));
   threads_.push_back(std::move(t));
-  raw->sys = std::thread([this, tid] { trampoline(tid); });
 }
 
-void Scheduler::trampoline(ThreadId tid) {
+void Scheduler::fiber_main(ThreadId tid) {
+#if defined(RG_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(nullptr, nullptr, nullptr);
+#endif
   if (thread_tls_hook) thread_tls_hook();
-  g_tls_tid = tid;
-  bool aborted_before_start = false;
-  {
-    std::unique_lock lock(mu_);
-    SimThread& me = slot(tid);
-    wait_for_baton(lock, me);
-    aborted_before_start = me.abort;
-  }
-  if (!aborted_before_start) {
-    SimThread& me = slot(tid);
+  SimThread& me = slot(tid);
+  if (!me.abort) {
     try {
       me.fn();
     } catch (const SimAbort&) {
       // Teardown in progress; fall through to finish.
     } catch (const std::exception& e) {
-      std::unique_lock lock(mu_);
-      if (!aborting_) global_abort_locked(SimOutcome::ClientError, e.what());
+      if (!aborting_.load(std::memory_order_relaxed))
+        global_abort(SimOutcome::ClientError, e.what());
     }
   }
-  std::unique_lock lock(mu_);
-  finish_thread_locked(slot(tid));
+  fiber_exit(me);
+}
+
+void Scheduler::fiber_exit(SimThread& me) {
+  finish_thread(me);
+  SimThread* next = nullptr;
+  bool resume_only = false;  // plain resume (teardown/return-to-main)
+  if (!aborting_.load(std::memory_order_relaxed) && !all_finished()) {
+    service_sleepers();
+    next = pick_next(nullptr, /*allow_current=*/false);
+    if (next == nullptr) {
+      // Threads remain but none can ever run again.
+      record_deadlock();
+      global_abort(SimOutcome::Deadlocked, "deadlock");
+    }
+  }
+  if (next == nullptr) {
+    resume_only = true;
+    if (aborting_.load(std::memory_order_relaxed)) {
+      // Unwind chain: workers in id order, main strictly last.
+      for (const auto& t : threads_)
+        if (t->id != main_tid_ && t->state != RunState::Finished) {
+          next = t.get();
+          break;
+        }
+    }
+    if (next == nullptr) next = &slot(main_tid_);
+  }
+  // This fiber can never run again; park its stack for the next exiting
+  // fiber to free (it is still in use until the jump below completes).
+  retiring_stack_ = std::move(me.stack);
+  if (resume_only) {
+    jump(me, *next, /*from_dying=*/true);
+  } else {
+    next->state = RunState::Running;
+    grant_fast_budget();
+    jump(me, *next, /*from_dying=*/true);
+  }
+  RG_UNREACHABLE("finished fiber resumed");
+}
+
+void Scheduler::jump(SimThread& from, SimThread& to, bool from_dying) {
+  current_ = to.id;
+  g_tls_tid = to.id;
+#if defined(RG_ASAN_FIBERS)
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(from_dying ? nullptr : &fake_stack,
+                                 to.stack_bottom, to.stack_size);
+#else
+  (void)from_dying;
+#endif
+  swapcontext(&from.ctx, &to.ctx);
+#if defined(RG_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
+#endif
+  // Resumed: whoever switched back restored our identity already.
+}
+
+void Scheduler::hand_off(SimThread& from, SimThread& next) {
+  RG_ASSERT(next.state == RunState::Runnable);
+  next.state = RunState::Running;
+  // Precompute the incoming thread's no-switch budget while the scheduler
+  // state is settled; it consumes the budget without re-entering here.
+  grant_fast_budget();
+  jump(from, next, /*from_dying=*/false);
 }
 
 void Scheduler::preempt() {
-  std::unique_lock lock(mu_);
-  SimThread& me = slot(g_tls_tid);
-  if (me.abort || aborting_) {
-    // Raise the teardown exception once; while it is unwinding, RAII
-    // destructors may re-enter the scheduler and must pass through freely.
-    if (std::uncaught_exceptions() == 0 && me.state != RunState::Finished)
-      throw SimAbort{client_error_};
+  // Fast path: a prior scheduling decision proved that the next
+  // fast_remaining_ preemption points cannot switch threads, wake a due
+  // sleeper, or trip the step cap — skip the strategy logic entirely.
+  const std::int64_t rem = fast_remaining_.load(std::memory_order_relaxed);
+  if (rem > 0 && !aborting_.load(std::memory_order_relaxed)) {
+    fast_remaining_.store(rem - 1, std::memory_order_relaxed);
+    steps_.fetch_add(1, std::memory_order_relaxed);
+    vtime_.fetch_add(1, std::memory_order_relaxed);
+    fast_steps_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  ++steps_;
-  ++vtime_;
+
+  SimThread& me = slot(g_tls_tid);
+  if (me.abort || aborting_.load(std::memory_order_relaxed)) {
+    // Raise the teardown exception once; while it is unwinding, RAII
+    // destructors may re-enter the scheduler and must pass through freely.
+    if (std::uncaught_exceptions() == 0 && me.state != RunState::Finished) {
+      if (me.id == main_tid_) unwind_workers(me);
+      throw SimAbort{client_error_};
+    }
+    return;
+  }
+  drain_fast_budget();
+  const std::uint64_t steps_now =
+      steps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  vtime_.fetch_add(1, std::memory_order_relaxed);
   ++since_switch_;
-  if (steps_ > config_.max_steps) {
-    global_abort_locked(SimOutcome::StepLimit, "scheduler step limit reached");
-    if (g_tls_tid == main_tid_) wait_workers_finished_locked(lock);
+  if (steps_now > config_.max_steps) {
+    global_abort(SimOutcome::StepLimit, "scheduler step limit reached");
+    if (me.id == main_tid_) unwind_workers(me);
     throw SimAbort{"step limit"};
   }
-  service_sleepers_locked();
-  SimThread* next = pick_next_locked(&me, /*allow_current=*/true);
-  if (next == nullptr || next == &me) return;
+  service_sleepers();
+  SimThread* next = pick_next(&me, /*allow_current=*/true);
+  if (next == nullptr || next == &me) {
+    grant_fast_budget();
+    return;
+  }
   me.state = RunState::Runnable;
-  me.baton = false;
   since_switch_ = 0;
-  give_baton_locked(*next);
-  wait_for_baton(lock, me);
-  if (me.abort) throw SimAbort{client_error_};
+  hand_off(me, *next);
+  if (me.abort) {
+    if (me.id == main_tid_) unwind_workers(me);
+    throw SimAbort{client_error_};
+  }
+}
+
+void Scheduler::drain_fast_budget() {
+  if (fast_granted_ == 0) return;
+  const std::int64_t rem_raw = fast_remaining_.load(std::memory_order_relaxed);
+  const std::uint64_t rem =
+      rem_raw > 0 ? static_cast<std::uint64_t>(rem_raw) : 0;
+  const std::uint64_t consumed = fast_granted_ - rem;
+  // Fast steps bumped steps_/vtime_ themselves; reconcile the rest here.
+  since_switch_ += static_cast<std::uint32_t>(consumed);
+  if (fast_grant_draws_)
+    // Advance the PRNG by exactly the draws the slow path would have made
+    // for the steps actually taken (the grant rolled its counting back).
+    for (std::uint64_t i = 0; i < consumed; ++i)
+      (void)rng_.chance(switch_chance_num_, 1'000'000);
+  fast_granted_ = 0;
+  fast_grant_draws_ = false;
+  fast_remaining_.store(0, std::memory_order_relaxed);
+}
+
+void Scheduler::grant_fast_budget() {
+  if (!config_.fast_path || aborting_.load(std::memory_order_relaxed)) return;
+  RG_ASSERT_MSG(fast_granted_ == 0, "granting over an undrained budget");
+  const std::uint64_t steps_now = steps_.load(std::memory_order_relaxed);
+  // The step that trips the cap must take the slow path.
+  if (steps_now >= config_.max_steps) return;
+  std::uint64_t budget = std::min(kMaxFastGrant, config_.max_steps - steps_now);
+
+  bool other_runnable = false;
+  bool any_sleeping = false;
+  std::uint64_t earliest = ~0ULL;
+  for (const auto& t : threads_) {
+    if (t->state == RunState::Runnable) {
+      other_runnable = true;
+    } else if (t->state == RunState::Sleeping) {
+      any_sleeping = true;
+      earliest = std::min(earliest, t->wake_at);
+    }
+  }
+
+  if (!other_runnable) {
+    // Running alone: the slow path would consume no PRNG draws and could
+    // not switch until a sleeper comes due (the step that wakes it must
+    // be slow — it changes the runnable set and, under Random, starts
+    // consuming draws). spawn()/unblock() invalidate the budget.
+    if (any_sleeping) {
+      const std::uint64_t vt = vtime_.load(std::memory_order_relaxed);
+      if (earliest <= vt + 1) return;
+      budget = std::min(budget, earliest - vt - 1);
+    }
+    fast_grant_draws_ = false;
+  } else {
+    switch (config_.strategy) {
+      case SchedStrategy::RoundRobin: {
+        // Steps strictly before the period boundary cannot switch. A
+        // sleeper waking mid-budget is woken (identically) by the
+        // service_sleepers call of the next slow step.
+        if (since_switch_ + 1 >= config_.switch_period) return;
+        budget = std::min<std::uint64_t>(
+            budget, config_.switch_period - since_switch_ - 1);
+        fast_grant_draws_ = false;
+        break;
+      }
+      case SchedStrategy::Random: {
+        // The runnable set is non-empty and only the running thread can
+        // change it (via entry points that drain), so the slow path would
+        // consume exactly one switch draw per step. Count the run of
+        // no-switch draws against a snapshot, then roll back: the drain
+        // replays the consumed prefix, keeping the stream bit-identical.
+        const support::Xoshiro256 snapshot = rng_;
+        std::uint64_t falses = 0;
+        while (falses < budget && !rng_.chance(switch_chance_num_, 1'000'000))
+          ++falses;
+        rng_ = snapshot;
+        if (falses == 0) return;
+        budget = falses;
+        fast_grant_draws_ = true;
+        break;
+      }
+    }
+  }
+
+  fast_granted_ = budget;
+  fast_remaining_.store(static_cast<std::int64_t>(budget),
+                        std::memory_order_relaxed);
 }
 
 void Scheduler::block(const std::string& reason) {
-  std::unique_lock lock(mu_);
   SimThread& me = slot(g_tls_tid);
-  if (me.abort || aborting_) {
+  if (me.abort || aborting_.load(std::memory_order_relaxed)) {
     if (std::uncaught_exceptions() == 0) throw SimAbort{client_error_};
     return;
   }
   me.state = RunState::Blocked;
   me.block_reason = reason;
-  me.baton = false;
-  schedule_out_locked(lock, me);
+  schedule_out(me);
 }
 
 void Scheduler::unblock(ThreadId tid) {
-  std::unique_lock lock(mu_);
+  drain_fast_budget();  // the target joins the runnable set
   SimThread& t = slot(tid);
   if (t.state == RunState::Blocked) t.state = RunState::Runnable;
 }
 
 void Scheduler::sleep(std::uint64_t ticks) {
-  std::unique_lock lock(mu_);
   SimThread& me = slot(g_tls_tid);
-  if (me.abort || aborting_) {
+  if (me.abort || aborting_.load(std::memory_order_relaxed)) {
     if (std::uncaught_exceptions() == 0) throw SimAbort{client_error_};
     return;
   }
   me.state = RunState::Sleeping;
-  me.wake_at = vtime_ + ticks;
+  me.wake_at = vtime_.load(std::memory_order_relaxed) + ticks;
   me.block_reason = "sleeping";
-  me.baton = false;
-  schedule_out_locked(lock, me);
+  schedule_out(me);
 }
 
 void Scheduler::wait_finish(ThreadId target) {
-  std::unique_lock lock(mu_);
   SimThread& me = slot(g_tls_tid);
   while (slot(target).state != RunState::Finished) {
-    if (me.abort || aborting_) {
+    if (me.abort || aborting_.load(std::memory_order_relaxed)) {
       if (std::uncaught_exceptions() == 0) throw SimAbort{client_error_};
-      return;  // Teardown: the scheduler's epilogue joins the OS thread.
+      return;  // Teardown: the remaining fibers unwind via the abort chain.
     }
     slot(target).join_waiters.push_back(me.id);
     me.state = RunState::Blocked;
     me.block_reason = "joining thread " + std::to_string(target);
-    me.baton = false;
-    schedule_out_locked(lock, me);
+    schedule_out(me);
   }
 }
 
 bool Scheduler::finished(ThreadId tid) const {
-  std::unique_lock lock(mu_);
-  RG_ASSERT(tid < threads_.size());
-  return threads_[tid]->state == RunState::Finished;
+  return slot(tid).state == RunState::Finished;
 }
 
 bool Scheduler::tearing_down() const {
-  std::unique_lock lock(mu_);
-  return aborting_;
+  // Checked by every instrumented primitive before raising an event; a
+  // plain flag read, no scheduler work.
+  return aborting_.load(std::memory_order_relaxed);
 }
 
 ThreadId Scheduler::current() const { return g_tls_tid; }
 
-void Scheduler::schedule_out_locked(std::unique_lock<std::mutex>& lock,
-                                    SimThread& me) {
-  service_sleepers_locked();
-  SimThread* next = pick_next_locked(nullptr, /*allow_current=*/false);
+void Scheduler::schedule_out(SimThread& me) {
+  drain_fast_budget();
+  service_sleepers();
+  SimThread* next = pick_next(nullptr, /*allow_current=*/false);
   if (next == nullptr) {
     // Nothing runnable and nothing due to wake: the program under test is
     // deadlocked.
-    DeadlockEvidence ev;
-    for (const auto& t : threads_)
-      if (t->state == RunState::Blocked || t->state == RunState::Sleeping)
-        ev.blocked.push_back({t->id, t->block_reason});
-    deadlock_ = std::move(ev);
-    global_abort_locked(SimOutcome::Deadlocked, "deadlock");
-    if (g_tls_tid == main_tid_) wait_workers_finished_locked(lock);
+    record_deadlock();
+    global_abort(SimOutcome::Deadlocked, "deadlock");
+    if (me.id == main_tid_) unwind_workers(me);
     throw SimAbort{"deadlock"};
   }
-  give_baton_locked(*next);
-  wait_for_baton(lock, me);
-  if (me.abort) throw SimAbort{client_error_};
+  hand_off(me, *next);
+  if (me.abort) {
+    if (me.id == main_tid_) unwind_workers(me);
+    throw SimAbort{client_error_};
+  }
 }
 
-void Scheduler::finish_thread_locked(SimThread& me) {
-  me.state = RunState::Finished;
-  me.baton = false;
-  for (ThreadId waiter : me.join_waiters) unblock_locked(waiter);
-  me.join_waiters.clear();
-
-  const bool all_finished =
-      std::all_of(threads_.begin(), threads_.end(), [](const auto& t) {
-        return t->state == RunState::Finished;
-      });
-  if (all_finished) {
-    controller_cv_.notify_all();
-    return;
-  }
-  if (aborting_) {
-    // Remaining workers are unwinding on their own; release main once the
-    // last one finishes.
-    maybe_release_main_locked();
-    controller_cv_.notify_all();
-    return;
-  }
-  service_sleepers_locked();
-  SimThread* next = pick_next_locked(nullptr, /*allow_current=*/false);
-  if (next != nullptr) {
-    give_baton_locked(*next);
-    return;
-  }
-  // Threads remain but none can ever run again.
+void Scheduler::record_deadlock() {
   DeadlockEvidence ev;
   for (const auto& t : threads_)
     if (t->state == RunState::Blocked || t->state == RunState::Sleeping)
       ev.blocked.push_back({t->id, t->block_reason});
   deadlock_ = std::move(ev);
-  global_abort_locked(SimOutcome::Deadlocked, "deadlock");
 }
 
-void Scheduler::unblock_locked(ThreadId tid) {
+void Scheduler::finish_thread(SimThread& me) {
+  drain_fast_budget();
+  me.state = RunState::Finished;
+  for (ThreadId waiter : me.join_waiters) make_runnable(waiter);
+  me.join_waiters.clear();
+}
+
+void Scheduler::unwind_workers(SimThread& me) {
+  // Resume unfinished workers so their SimAbort unwinds before main's
+  // stack (which owns the objects they may still reference) goes away.
+  // Each resumed fiber chains to the next via fiber_exit; control returns
+  // here once only main is left.
+  for (;;) {
+    SimThread* w = nullptr;
+    for (const auto& t : threads_)
+      if (t->id != main_tid_ && t->state != RunState::Finished) {
+        w = t.get();
+        break;
+      }
+    if (w == nullptr) return;
+    jump(me, *w, /*from_dying=*/false);
+  }
+}
+
+void Scheduler::make_runnable(ThreadId tid) {
   SimThread& t = slot(tid);
   if (t.state == RunState::Blocked) t.state = RunState::Runnable;
 }
 
-void Scheduler::service_sleepers_locked() {
+void Scheduler::service_sleepers() {
   for (;;) {
     bool any_runnable = false;
     bool any_sleeping = false;
     std::uint64_t earliest = ~0ULL;
+    const std::uint64_t vt = vtime_.load(std::memory_order_relaxed);
     for (const auto& t : threads_) {
       if (t->state == RunState::Sleeping) {
-        if (t->wake_at <= vtime_) {
+        if (t->wake_at <= vt) {
           t->state = RunState::Runnable;
           any_runnable = true;
         } else {
@@ -292,12 +518,12 @@ void Scheduler::service_sleepers_locked() {
     }
     if (any_runnable || !any_sleeping) return;
     // Everyone is asleep: jump virtual time to the first deadline.
-    vtime_ = earliest;
+    vtime_.store(earliest, std::memory_order_relaxed);
   }
 }
 
-Scheduler::SimThread* Scheduler::pick_next_locked(SimThread* current,
-                                                  bool allow_current) {
+Scheduler::SimThread* Scheduler::pick_next(SimThread* current,
+                                           bool allow_current) {
   support::small_vector<SimThread*, 16> runnable;
   for (const auto& t : threads_)
     if (t->state == RunState::Runnable) runnable.push_back(t.get());
@@ -324,9 +550,7 @@ Scheduler::SimThread* Scheduler::pick_next_locked(SimThread* current,
     }
     case SchedStrategy::Random: {
       if (allow_current && current != nullptr &&
-          !rng_.chance(static_cast<std::uint64_t>(
-                           config_.switch_probability * 1'000'000),
-                       1'000'000))
+          !rng_.chance(switch_chance_num_, 1'000'000))
         return current;
       return runnable[rng_.below(runnable.size())];
     }
@@ -334,52 +558,14 @@ Scheduler::SimThread* Scheduler::pick_next_locked(SimThread* current,
   RG_UNREACHABLE("bad strategy");
 }
 
-void Scheduler::give_baton_locked(SimThread& next) {
-  RG_ASSERT(next.state == RunState::Runnable);
-  next.state = RunState::Running;
-  next.baton = true;
-  current_ = next.id;
-  next.cv.notify_one();
-}
-
-void Scheduler::wait_for_baton(std::unique_lock<std::mutex>& lock,
-                               SimThread& me) {
-  me.cv.wait(lock, [&] { return me.baton || me.abort; });
-}
-
-void Scheduler::global_abort_locked(SimOutcome outcome, std::string reason) {
-  if (aborting_) return;
-  aborting_ = true;
+void Scheduler::global_abort(SimOutcome outcome, std::string reason) {
+  if (aborting_.load(std::memory_order_relaxed)) return;
+  aborting_.store(true, std::memory_order_relaxed);
+  fast_remaining_.store(0, std::memory_order_relaxed);
   outcome_ = outcome;
   client_error_ = std::move(reason);
-  for (const auto& t : threads_) {
-    if (t->state == RunState::Finished) continue;
-    if (t->id == main_tid_) continue;  // main unwinds after every worker
-    t->abort = true;
-    t->cv.notify_one();
-  }
-  maybe_release_main_locked();
-}
-
-void Scheduler::maybe_release_main_locked() {
-  if (!aborting_) return;
   for (const auto& t : threads_)
-    if (t->id != main_tid_ && t->state != RunState::Finished) return;
-  SimThread& main = slot(main_tid_);
-  if (main.state != RunState::Finished) {
-    main.abort = true;
-    main.cv.notify_one();
-  }
-  controller_cv_.notify_all();
-}
-
-void Scheduler::wait_workers_finished_locked(
-    std::unique_lock<std::mutex>& lock) {
-  controller_cv_.wait(lock, [&] {
-    for (const auto& t : threads_)
-      if (t->id != main_tid_ && t->state != RunState::Finished) return false;
-    return true;
-  });
+    if (t->state != RunState::Finished) t->abort = true;
 }
 
 }  // namespace rg::rt

@@ -3,21 +3,22 @@
 // Valgrind executes the client program on a single carrier thread, context-
 // switching between client threads at instrumentation points (the paper,
 // §3.3: "the virtual machine in itself is single-threaded"). We reproduce
-// that: simulated threads are real std::threads, but a baton guarantees that
-// exactly one of them executes at any moment, and every instrumented
-// operation is a preemption point where a *seeded* strategy picks the next
-// runnable thread. Given a seed, an execution — and therefore the set of
-// warnings a detector derives from it — is exactly reproducible.
+// that literally: simulated threads are ucontext fibers multiplexed on the
+// one OS thread that called run(), so a context switch is a userspace
+// register swap instead of a futex round-trip through the kernel. Every
+// instrumented operation is a preemption point where a *seeded* strategy
+// picks the next runnable thread. Given a seed, an execution — and
+// therefore the set of warnings a detector derives from it — is exactly
+// reproducible.
 #pragma once
 
-#include <condition_variable>
+#include <ucontext.h>
+
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <queue>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "rt/ids.hpp"
@@ -48,6 +49,13 @@ struct SchedConfig {
   /// Hard cap on preemption points; exceeding it aborts the run (guards
   /// against livelock in a buggy program under test).
   std::uint64_t max_steps = 100'000'000;
+  /// No-switch fast path: at every scheduling decision the scheduler
+  /// precomputes how many upcoming preemption points cannot switch threads
+  /// and lets them run on a counter decrement, skipping the strategy logic.
+  /// Schedules are bit-identical with the fast path on or off (the PRNG
+  /// draws are precounted against a snapshot and replayed); off only for
+  /// the equivalence tests and perf comparison.
+  bool fast_path = true;
 };
 
 /// Why a run ended.
@@ -112,16 +120,25 @@ class Scheduler {
   bool tearing_down() const;
 
   /// Id of the calling simulated thread (thread-local identity, valid even
-  /// during teardown when the baton discipline is suspended).
+  /// during teardown).
   ThreadId current() const;
 
-  std::uint64_t steps() const { return steps_; }
-  std::uint64_t virtual_time() const { return vtime_; }
+  std::uint64_t steps() const {
+    return steps_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t virtual_time() const {
+    return vtime_.load(std::memory_order_relaxed);
+  }
+  /// Preemption points that took the no-switch fast path (observability).
+  std::uint64_t fast_path_steps() const {
+    return fast_steps_.load(std::memory_order_relaxed);
+  }
   SimOutcome outcome() const { return outcome_; }
   const DeadlockEvidence& deadlock() const { return deadlock_; }
   const std::string& client_error() const { return client_error_; }
 
-  /// Installed by Sim so spawned threads inherit the ambient context.
+  /// Installed by Sim so fibers inherit the ambient context. Called at
+  /// fiber start (idempotent on a single carrier thread).
   std::function<void()> thread_tls_hook;
 
  private:
@@ -135,70 +152,114 @@ class Scheduler {
 
   struct SimThread {
     ThreadId id = kNoThread;
-    std::thread sys;  // not joined-through for the bootstrap thread
     RunState state = RunState::Runnable;
-    std::condition_variable cv;
-    bool baton = false;
     bool abort = false;
     std::uint64_t wake_at = 0;
     std::string block_reason;
     std::function<void()> fn;
     std::vector<ThreadId> join_waiters;
+    ucontext_t ctx{};
+    /// Fiber stack; null for the bootstrap (main) thread, which runs on
+    /// the carrier's native stack.
+    std::unique_ptr<char[]> stack;
+    /// Stack bounds for sanitizer fiber annotations.
+    const void* stack_bottom = nullptr;
+    std::size_t stack_size = 0;
   };
 
   SimThread& slot(ThreadId tid);
+  const SimThread& slot(ThreadId tid) const;
+
+  bool all_finished() const;
 
   /// Picks the next thread to run; returns nullptr when none is runnable
   /// after waking due sleepers.
-  SimThread* pick_next_locked(SimThread* current, bool allow_current);
+  SimThread* pick_next(SimThread* current, bool allow_current);
 
-  /// Hands control to some runnable thread (or declares deadlock) and parks
-  /// the calling thread until it is scheduled again.
-  void schedule_out_locked(std::unique_lock<std::mutex>& lock, SimThread& me);
+  /// Raw fiber switch from `from` to `to` (no state changes). `from_dying`
+  /// marks `from`'s stack as never resumed again (sanitizer hint).
+  void jump(SimThread& from, SimThread& to, bool from_dying);
 
-  /// Marks `me` finished, wakes joiners, and keeps the run going (or
-  /// completes / aborts it).
-  void finish_thread_locked(SimThread& me);
+  /// Marks `next` running, grants it a fast-path budget, and switches to
+  /// it. Returns when `from` is scheduled again.
+  void hand_off(SimThread& from, SimThread& next);
 
-  void unblock_locked(ThreadId tid);
+  /// Parks `me` (already marked Blocked/Sleeping) and hands control to some
+  /// runnable thread, or declares deadlock.
+  void schedule_out(SimThread& me);
+
+  /// Entry point of every spawned fiber.
+  void fiber_main(ThreadId tid);
+  /// makecontext-compatible shim: reassembles (Scheduler*, tid) from ints.
+  static void fiber_main_trampoline(unsigned hi, unsigned lo, unsigned tid);
+
+  /// Terminal continuation of a fiber: marks it finished, wakes joiners,
+  /// and transfers control to the next thread (or back to run()).
+  [[noreturn]] void fiber_exit(SimThread& me);
+
+  void make_runnable(ThreadId tid);
+
+  /// Marks `me` finished and wakes its joiners (no control transfer).
+  void finish_thread(SimThread& me);
 
   /// Wakes sleepers whose deadline has passed; when nothing is runnable but
   /// sleepers exist, advances virtual time to the earliest deadline.
-  void service_sleepers_locked();
+  void service_sleepers();
 
-  /// Declares the whole run dead: wakes every worker with the abort flag.
-  /// The main thread is deliberately released *last* (see
-  /// maybe_release_main_locked) so that objects owned by its stack frame
-  /// survive until every worker has unwound.
-  void global_abort_locked(SimOutcome outcome, std::string reason);
+  /// Declares the whole run dead: flags every unfinished thread so it
+  /// throws SimAbort at its next scheduling point. Unwinding is driven by
+  /// resuming each fiber in turn; main is deliberately resumed *last* so
+  /// that objects owned by its stack frame survive until every worker has
+  /// unwound.
+  void global_abort(SimOutcome outcome, std::string reason);
 
-  /// During teardown: once every non-main thread has finished, wakes main.
-  void maybe_release_main_locked();
+  /// During teardown, called by main: resumes every unfinished worker (in
+  /// id order) until only main remains, so main's SimAbort unwinds last.
+  void unwind_workers(SimThread& me);
 
-  /// Parks the calling (main) thread until every worker finished; used
-  /// before letting SimAbort unwind main's stack.
-  void wait_workers_finished_locked(std::unique_lock<std::mutex>& lock);
+  void record_deadlock();
 
-  void give_baton_locked(SimThread& next);
-  void wait_for_baton(std::unique_lock<std::mutex>& lock, SimThread& me);
+  /// Precomputes the fast-path budget: the number of upcoming preemption
+  /// points guaranteed to keep the current thread running. For the Random
+  /// strategy the run of no-switch draws is counted against a PRNG
+  /// snapshot and rolled back; drain_fast_budget() replays exactly the
+  /// consumed draws, so the PRNG stream — and therefore the schedule — is
+  /// bit-identical to the slow path.
+  void grant_fast_budget();
 
-  void trampoline(ThreadId tid);
+  /// Reconciles counters (since_switch_, PRNG position) after fast-path
+  /// steps; must run at the top of every scheduling entry point.
+  void drain_fast_budget();
 
   SchedConfig config_;
   support::Xoshiro256 rng_;
+  /// switch_probability as the chance() numerator, fixed at construction.
+  std::uint64_t switch_chance_num_ = 0;
 
-  mutable std::mutex mu_;
-  std::condition_variable controller_cv_;
   std::vector<std::unique_ptr<SimThread>> threads_;
   ThreadId main_tid_ = kNoThread;
   ThreadId current_ = kNoThread;
-  std::uint64_t steps_ = 0;
-  std::uint64_t vtime_ = 0;
+  std::atomic<std::uint64_t> steps_{0};
+  std::atomic<std::uint64_t> vtime_{0};
+  std::atomic<std::uint64_t> fast_steps_{0};
   std::uint32_t since_switch_ = 0;
-  bool aborting_ = false;
+  std::atomic<bool> aborting_{false};
   SimOutcome outcome_ = SimOutcome::Completed;
   DeadlockEvidence deadlock_;
   std::string client_error_;
+
+  /// Stack of the most recently finished fiber. A fiber cannot free its
+  /// own stack while still running on it, so it parks the stack here; the
+  /// next fiber to exit overwrites (and thereby frees) it.
+  std::unique_ptr<char[]> retiring_stack_;
+
+  // Fast-path budget. Only the single running simulated thread consumes
+  // it; atomics keep the counters readable from monitoring code.
+  std::atomic<std::int64_t> fast_remaining_{0};
+  std::uint64_t fast_granted_ = 0;
+  /// Whether the active grant pre-counted Random-strategy draws that the
+  /// drain must replay.
+  bool fast_grant_draws_ = false;
 };
 
 }  // namespace rg::rt

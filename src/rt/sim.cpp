@@ -38,6 +38,7 @@ SimResult Sim::run(const std::function<void()>& entry) {
   SimResult result;
   result.outcome = sched_.outcome();
   result.steps = sched_.steps();
+  result.fast_path_steps = sched_.fast_path_steps();
   result.virtual_time = sched_.virtual_time();
   result.access_events = runtime_.access_events();
   result.sync_events = runtime_.sync_events();

@@ -14,6 +14,25 @@ namespace rg::rt {
 
 class Runtime;
 
+/// Hot-path cache counters a tool may expose (all zero when a tool has no
+/// such caches). Aggregated across tools by Runtime::tool_stats().
+struct ToolStats {
+  /// Per-thread effective-lockset cache (Helgrind / EraserBasic).
+  std::uint64_t lockset_cache_hits = 0;
+  std::uint64_t lockset_cache_misses = 0;
+  /// Shadow-map last-page TLB.
+  std::uint64_t shadow_tlb_hits = 0;
+  std::uint64_t shadow_tlb_misses = 0;
+
+  ToolStats& operator+=(const ToolStats& o) {
+    lockset_cache_hits += o.lockset_cache_hits;
+    lockset_cache_misses += o.lockset_cache_misses;
+    shadow_tlb_hits += o.shadow_tlb_hits;
+    shadow_tlb_misses += o.shadow_tlb_misses;
+    return *this;
+  }
+};
+
 /// Base class for event consumers. All hooks default to no-ops so a tool
 /// only overrides what it needs. Hooks are invoked serially (the scheduler
 /// runs exactly one simulated thread at a time), so tools need no internal
@@ -79,6 +98,9 @@ class Tool {
 
   /// End of the observed execution; tools flush summary state here.
   virtual void on_finish() {}
+
+  /// Cache observability (lockset cache, shadow TLB); defaults to zeros.
+  virtual ToolStats stats() const { return {}; }
 
  protected:
   Runtime* rt_ = nullptr;

@@ -5,6 +5,15 @@
 // number to a flat array of granule slots, so lookups on the hot path are
 // one hash probe + one index. The granule is 8 bytes (Helgrind tracked
 // machine words); an access spanning granules touches each of them.
+//
+// A one-entry last-page TLB fronts the hash probe, the way Valgrind's
+// translation cache fronts its SP-map: sequential and looping access
+// patterns (the common case for the proxy's message buffers) resolve to
+// the same page as the previous access, so `at`/`find` reduce to a compare
+// and an index. Pages are heap-allocated and never freed or moved, so the
+// cached pointer can never dangle; `reset_range` only rewrites slot
+// contents. The TLB can be disabled (equivalence testing) and exposes
+// hit/miss counters.
 #pragma once
 
 #include <array>
@@ -28,6 +37,12 @@ inline rt::Addr granule_base(std::uint64_t granule) {
   return granule << kGranuleShift;
 }
 
+/// Hit/miss counters of the last-page TLB.
+struct ShadowTlbStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
 template <typename State>
 class ShadowMap {
  public:
@@ -35,15 +50,31 @@ class ShadowMap {
   /// first touch.
   State& at(rt::Addr addr) {
     const std::uint64_t g = granule_of(addr);
-    Page& page = ensure_page(g >> (kPageShift - kGranuleShift));
+    const std::uint64_t page_no = g >> (kPageShift - kGranuleShift);
+    if (tlb_enabled_ && tlb_page_ != nullptr && tlb_page_no_ == page_no) {
+      ++tlb_.hits;
+      return (*tlb_page_)[g & (kGranulesPerPage - 1)];
+    }
+    ++tlb_.misses;
+    Page& page = ensure_page(page_no);
+    tlb_page_no_ = page_no;
+    tlb_page_ = &page;
     return page[g & (kGranulesPerPage - 1)];
   }
 
   /// Existing slot, or nullptr if the granule was never touched.
   const State* find(rt::Addr addr) const {
     const std::uint64_t g = granule_of(addr);
-    auto it = pages_.find(g >> (kPageShift - kGranuleShift));
+    const std::uint64_t page_no = g >> (kPageShift - kGranuleShift);
+    if (tlb_enabled_ && tlb_page_ != nullptr && tlb_page_no_ == page_no) {
+      ++tlb_.hits;
+      return &(*tlb_page_)[g & (kGranulesPerPage - 1)];
+    }
+    ++tlb_.misses;
+    auto it = pages_.find(page_no);
     if (it == pages_.end()) return nullptr;
+    tlb_page_no_ = page_no;
+    tlb_page_ = it->second.get();
     return &(*it->second)[g & (kGranulesPerPage - 1)];
   }
 
@@ -66,6 +97,15 @@ class ShadowMap {
 
   std::size_t page_count() const { return pages_.size(); }
 
+  /// Disables (or re-enables) the last-page TLB; used by the equivalence
+  /// tests to prove the cache changes no detector verdict.
+  void set_tlb_enabled(bool enabled) {
+    tlb_enabled_ = enabled;
+    tlb_page_ = nullptr;
+  }
+  bool tlb_enabled() const { return tlb_enabled_; }
+  const ShadowTlbStats& tlb_stats() const { return tlb_; }
+
  private:
   using Page = std::array<State, kGranulesPerPage>;
 
@@ -76,6 +116,11 @@ class ShadowMap {
   }
 
   std::unordered_map<std::uint64_t, std::unique_ptr<Page>> pages_;
+  bool tlb_enabled_ = true;
+  // `find` is logically const; warming the TLB there is pure caching.
+  mutable std::uint64_t tlb_page_no_ = 0;
+  mutable Page* tlb_page_ = nullptr;
+  mutable ShadowTlbStats tlb_;
 };
 
 }  // namespace rg::shadow

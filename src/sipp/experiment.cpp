@@ -8,6 +8,7 @@
 #include "sip/dispatch.hpp"
 #include "sip/proxy.hpp"
 #include "sipp/testcases.hpp"
+#include "support/parallel.hpp"
 
 namespace rg::sipp {
 
@@ -25,6 +26,7 @@ ExperimentResult run_scenario(const Scenario& scenario,
 
   rt::SimConfig sim_cfg;
   sim_cfg.sched.seed = config.seed;
+  sim_cfg.sched.fast_path = config.sched_fast_path;
   rt::Sim sim(sim_cfg);
   sim.attach(helgrind);
   if (config.deadlock_tool) sim.attach(deadlock);
@@ -76,25 +78,21 @@ ExperimentResult run_scenario(const Scenario& scenario,
   result.generated_suppressions = reports.generate_suppressions();
   result.lock_order_reports = deadlock.reports().distinct_locations();
   result.lockset_distinct = helgrind.locksets().distinct_sets();
+  result.tool_stats = sim.runtime().tool_stats();
   return result;
 }
 
-Fig6Row run_fig6_row(int n, const ExperimentConfig& base) {
-  const Scenario scenario = build_testcase(n, base.seed);
+namespace {
 
-  auto run_with = [&](const core::HelgrindConfig& detector) {
-    ExperimentConfig cfg = base;
-    cfg.detector = detector;
-    return run_scenario(scenario, cfg);
-  };
-
-  const ExperimentResult original =
-      run_with(core::HelgrindConfig::original());
-  const ExperimentResult hwlc = run_with(core::HelgrindConfig::hwlc());
-  const ExperimentResult hwlc_dr = run_with(core::HelgrindConfig::hwlc_dr());
-
+/// Derives one Fig. 6 row (with Fig. 5 attribution) from the three cell
+/// results of a test case. Shared by the serial and parallel paths so both
+/// produce identical rows by construction.
+Fig6Row assemble_fig6_row(const std::string& name,
+                          const ExperimentResult& original,
+                          const ExperimentResult& hwlc,
+                          const ExperimentResult& hwlc_dr) {
   Fig6Row row;
-  row.testcase = scenario.name;
+  row.testcase = name;
   row.original = original.reported_locations;
   row.hwlc = hwlc.reported_locations;
   row.hwlc_dr = hwlc_dr.reported_locations;
@@ -113,6 +111,61 @@ Fig6Row run_fig6_row(int n, const ExperimentConfig& base) {
     if (!keys_dr.contains(key)) ++row.destructor_fps;
   row.remaining = row.hwlc_dr;
   return row;
+}
+
+core::HelgrindConfig fig6_detector(std::size_t variant) {
+  switch (variant) {
+    case 0:
+      return core::HelgrindConfig::original();
+    case 1:
+      return core::HelgrindConfig::hwlc();
+    default:
+      return core::HelgrindConfig::hwlc_dr();
+  }
+}
+
+}  // namespace
+
+Fig6Row run_fig6_row(int n, const ExperimentConfig& base) {
+  const Scenario scenario = build_testcase(n, base.seed);
+
+  auto run_with = [&](const core::HelgrindConfig& detector) {
+    ExperimentConfig cfg = base;
+    cfg.detector = detector;
+    return run_scenario(scenario, cfg);
+  };
+
+  const ExperimentResult original = run_with(fig6_detector(0));
+  const ExperimentResult hwlc = run_with(fig6_detector(1));
+  const ExperimentResult hwlc_dr = run_with(fig6_detector(2));
+  return assemble_fig6_row(scenario.name, original, hwlc, hwlc_dr);
+}
+
+std::vector<Fig6Row> run_fig6_rows(const std::vector<int>& cases,
+                                   const ExperimentConfig& base,
+                                   std::size_t workers) {
+  // One cell = (test case, detector variant). Every cell builds its own
+  // scenario and Sim, so cells share no mutable state and any pool
+  // interleaving yields the same per-cell results as a serial sweep.
+  constexpr std::size_t kVariants = 3;
+  std::vector<ExperimentResult> cells(cases.size() * kVariants);
+  support::parallel_for_index(
+      cells.size(), workers, [&](std::size_t i) {
+        const int testcase = cases[i / kVariants];
+        ExperimentConfig cfg = base;
+        cfg.detector = fig6_detector(i % kVariants);
+        cells[i] = run_scenario(build_testcase(testcase, base.seed), cfg);
+      });
+
+  std::vector<Fig6Row> rows;
+  rows.reserve(cases.size());
+  for (std::size_t r = 0; r < cases.size(); ++r) {
+    const Scenario scenario = build_testcase(cases[r], base.seed);
+    rows.push_back(assemble_fig6_row(scenario.name, cells[r * kVariants],
+                                     cells[r * kVariants + 1],
+                                     cells[r * kVariants + 2]));
+  }
+  return rows;
 }
 
 }  // namespace rg::sipp

@@ -9,6 +9,7 @@
 #include "core/helgrind.hpp"
 #include "rt/chaos.hpp"
 #include "rt/sim.hpp"
+#include "rt/tool.hpp"
 #include "sip/faults.hpp"
 #include "sip/proxy.hpp"
 #include "sipp/client.hpp"
@@ -46,6 +47,11 @@ struct ExperimentConfig {
   sip::OverloadConfig overload;
   /// Detector report cap (ReportManager hardening); 0 = unlimited.
   std::size_t report_cap = 0;
+
+  // --- performance knobs --------------------------------------------------
+  /// Scheduler no-switch fast path. Schedules are bit-identical either way;
+  /// off only for the equivalence tests and perf comparison.
+  bool sched_fast_path = true;
 };
 
 struct ExperimentResult {
@@ -63,6 +69,8 @@ struct ExperimentResult {
   rt::SimResult sim;
   std::size_t responses = 0;
   std::size_t lockset_distinct = 0;
+  /// Hot-path counters (lockset cache, shadow TLB) summed over tools.
+  rt::ToolStats tool_stats;
 
   // --- robustness tier ----------------------------------------------------
   /// Per-call convergence accounting (empty unless the ChaosClient ran).
@@ -102,5 +110,14 @@ struct Fig6Row {
 
 /// Runs test case `n` under the three configurations of the paper.
 Fig6Row run_fig6_row(int n, const ExperimentConfig& base);
+
+/// Runs Fig. 6 rows for `cases`, fanning the (test case × detector config)
+/// cells over an OS-thread pool (`workers` = 0 → hardware concurrency,
+/// 1 → serial). Each cell is a self-contained Sim on one pool thread, so
+/// per-cell determinism is unchanged: the returned rows are identical to
+/// running run_fig6_row over `cases` one by one.
+std::vector<Fig6Row> run_fig6_rows(const std::vector<int>& cases,
+                                   const ExperimentConfig& base,
+                                   std::size_t workers = 0);
 
 }  // namespace rg::sipp

@@ -1,0 +1,84 @@
+#include "support/bench_json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rg::support {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchJson::add(const std::string& key, double value) {
+  char buf[64];
+  if (std::isfinite(value)) {
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+  } else {
+    std::snprintf(buf, sizeof buf, "null");  // JSON has no inf/nan
+  }
+  entries_.push_back({key, buf});
+}
+
+void BenchJson::add(const std::string& key, std::uint64_t value) {
+  entries_.push_back({key, std::to_string(value)});
+}
+
+void BenchJson::add(const std::string& key, std::int64_t value) {
+  entries_.push_back({key, std::to_string(value)});
+}
+
+void BenchJson::add(const std::string& key, const std::string& value) {
+  entries_.push_back({key, "\"" + escape(value) + "\""});
+}
+
+std::string BenchJson::render() const {
+  std::string out = "{\n";
+  out += "  \"bench\": \"" + escape(name_) + "\"";
+  for (const Entry& e : entries_) {
+    out += ",\n  \"" + escape(e.key) + "\": " + e.rendered;
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string BenchJson::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  const std::string body = render();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  return ok ? path : "";
+}
+
+}  // namespace rg::support

@@ -1,0 +1,52 @@
+// Machine-readable benchmark results.
+//
+// Every bench_* binary writes a BENCH_<name>.json next to its stdout table
+// so CI and the before/after comparisons in EXPERIMENTS.md can diff runs
+// without scraping text. Flat object: metric name -> number or string,
+// insertion-ordered, with the seed/config knobs that make the run
+// reproducible recorded alongside the measurements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rg::support {
+
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void add(const std::string& key, double value);
+  void add(const std::string& key, std::uint64_t value);
+  void add(const std::string& key, std::int64_t value);
+  void add(const std::string& key, int value) {
+    add(key, static_cast<std::int64_t>(value));
+  }
+  void add(const std::string& key, const std::string& value);
+  void add(const std::string& key, const char* value) {
+    add(key, std::string(value));
+  }
+
+  const std::string& name() const { return name_; }
+
+  /// Serialized JSON object (pretty, one entry per line).
+  std::string render() const;
+
+  /// Writes BENCH_<name>.json into `dir` ("." by default). Returns the
+  /// path written, or "" on I/O failure (benches must not fail the run
+  /// over a result file).
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string rendered;  // value pre-rendered as a JSON token
+  };
+
+  std::string name_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rg::support

@@ -1,0 +1,46 @@
+// Minimal OS-thread fan-out for embarrassingly parallel experiment cells.
+//
+// Each simulated execution (Sim) is confined to the OS thread that calls
+// run(): the fiber scheduler multiplexes simulated threads on that one
+// carrier, and all cross-cell state (site registry, string interner) is
+// mutex-protected and content-addressed. Running independent cells on a
+// pool therefore cannot change any cell's schedule or warning set — only
+// the wall-clock time of the whole table.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace rg::support {
+
+/// Runs fn(0..n-1), each index exactly once, on up to `workers` OS threads
+/// (0 = hardware concurrency). Blocks until every index has completed.
+/// fn must not throw; cells report failure through their own results.
+template <typename Fn>
+void parallel_for_index(std::size_t n, std::size_t workers, Fn&& fn) {
+  if (n == 0) return;
+  std::size_t pool = workers != 0 ? workers : std::thread::hardware_concurrency();
+  if (pool == 0) pool = 1;
+  if (pool > n) pool = n;
+  if (pool == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(pool - 1);
+  for (std::size_t t = 0; t + 1 < pool; ++t) threads.emplace_back(worker);
+  worker();  // the calling thread participates
+  for (std::thread& t : threads) t.join();
+}
+
+}  // namespace rg::support

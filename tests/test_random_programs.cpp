@@ -28,6 +28,9 @@ struct ProgramSpec {
   int ops_per_thread = 30;
   bool disciplined = false;  // every access under the one global lock
   std::uint64_t program_seed = 1;
+  /// Hot-path optimizations (lockset cache, shadow TLB, scheduler fast
+  /// path). Must be invisible: verdicts identical on or off.
+  bool optimized = true;
 };
 
 struct RunResult {
@@ -41,11 +44,18 @@ struct RunResult {
 /// One random program: `threads` workers doing a random mix of locked and
 /// unlocked reads/writes over four shared cells.
 RunResult run_program(const ProgramSpec& spec, std::uint64_t sched_seed) {
-  core::HelgrindTool helgrind(core::HelgrindConfig::original());
-  core::EraserBasicTool eraser;
+  core::HelgrindConfig helgrind_cfg = core::HelgrindConfig::original();
+  helgrind_cfg.lockset_cache = spec.optimized;
+  helgrind_cfg.shadow_tlb = spec.optimized;
+  core::HelgrindTool helgrind(helgrind_cfg);
+  core::EraserBasicConfig eraser_cfg;
+  eraser_cfg.lockset_cache = spec.optimized;
+  eraser_cfg.shadow_tlb = spec.optimized;
+  core::EraserBasicTool eraser(eraser_cfg);
 
   rt::SimConfig cfg;
   cfg.sched.seed = sched_seed;
+  cfg.sched.fast_path = spec.optimized;
   rt::Sim sim(cfg);
   sim.attach(helgrind);
   sim.attach(eraser);
@@ -124,6 +134,24 @@ TEST_P(RandomPrograms, RefinementsOnlyRemoveWarnings) {
   for (rt::Addr granule : r.helgrind_addrs)
     EXPECT_TRUE(r.eraser_addrs.contains(granule))
         << "granule " << granule << " flagged by Helgrind only";
+}
+
+TEST_P(RandomPrograms, OptimizationsAreInvisible) {
+  // The lockset cache, shadow TLB and scheduler fast path are pure
+  // memoisation: with all three disabled the same program under the same
+  // schedule seed must take the same number of steps and produce the same
+  // warning keys from both detectors.
+  ProgramSpec spec;
+  spec.program_seed = GetParam();
+  ProgramSpec plain = spec;
+  plain.optimized = false;
+  const RunResult fast = run_program(spec, GetParam() * 5 + 2);
+  const RunResult slow = run_program(plain, GetParam() * 5 + 2);
+  EXPECT_TRUE(fast.completed);
+  EXPECT_EQ(fast.steps, slow.steps);
+  EXPECT_EQ(fast.helgrind_keys, slow.helgrind_keys);
+  EXPECT_EQ(fast.helgrind_addrs.size(), slow.helgrind_addrs.size());
+  EXPECT_EQ(fast.eraser_addrs.size(), slow.eraser_addrs.size());
 }
 
 TEST_P(RandomPrograms, DisciplinedProgramIsClean) {

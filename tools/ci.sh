@@ -1,20 +1,37 @@
 #!/usr/bin/env bash
 # Tier-1 CI: regular build + full test suite, then an ASan+UBSan build.
 #
-# Usage: tools/ci.sh [--fast]
+# Usage: tools/ci.sh [--fast] [--bench]
 #   --fast   skip the chaos-labelled tests in the sanitizer pass (they run
 #            the full fault-injection scenarios and dominate its runtime)
+#   --bench  additionally run the bench-labelled smoke tests against the
+#            (optimized) default build and check BENCH_*.json output
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --bench) BENCH=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: configure + build + ctest =="
 cmake --preset default
 cmake --build --preset default -j
 ctest --preset default -j
+
+if [[ "$BENCH" == 1 ]]; then
+  echo "== bench: smoke runs of the perf-critical binaries =="
+  ctest --preset bench
+  for f in build/bench/BENCH_hotpath.json build/bench/BENCH_slowdown.json; do
+    [[ -s "$f" ]] || { echo "missing bench result: $f" >&2; exit 1; }
+  done
+fi
 
 echo "== sanitize: ASan + UBSan build + ctest =="
 cmake --preset sanitize
