@@ -1,0 +1,151 @@
+// Resilience tier — goodput under rising fault rates on both hops.
+//
+// Sweeps one T5 heavy-mixed-traffic scenario through the resilient proxy
+// (3 upstream targets, breakers, failover, Retry-After-honoring client)
+// while the injected fault rate climbs from calm to 30% on the client and
+// proxy<->upstream hops together. The claim: goodput (calls ending in a
+// 2xx final) degrades *monotonically* — shedding, failover and degraded
+// registrar serves turn faults into a gentle slope, not a cliff to zero —
+// and every call still converges to an accounted terminal state.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/helgrind.hpp"
+#include "rt/chaos.hpp"
+#include "sip/faults.hpp"
+#include "sipp/experiment.hpp"
+#include "sipp/testcases.hpp"
+#include "support/bench_json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct SweepPoint {
+  std::uint32_t fault_permille = 0;
+  double seconds = 0.0;
+  double goodput = 0.0;  // 2xx finals / calls
+  rg::sipp::ExperimentResult result;
+};
+
+SweepPoint run_point(std::uint32_t permille, std::uint64_t seed) {
+  using namespace rg;
+  const sipp::Scenario scenario = sipp::build_testcase(5, seed);
+  sipp::ExperimentConfig cfg;
+  cfg.seed = seed;
+  cfg.faults = sip::FaultConfig::none();
+  cfg.detector = core::HelgrindConfig::hwlc_dr();
+  cfg.chaos_client = true;
+  cfg.parallelism = 6;
+  // Fault rate applied to both hops at once: UDP weather between UA and
+  // proxy, plus drop/error/delay on the forwarding hop.
+  cfg.chaos.seed = seed;
+  cfg.chaos.drop_permille = permille / 2;
+  cfg.chaos.delay_permille = permille;
+  cfg.chaos.max_delay_ticks = 100;
+  cfg.chaos.upstream_drop_permille = permille;
+  cfg.chaos.upstream_error_permille = permille / 2;
+  cfg.chaos.upstream_delay_permille = permille;
+  cfg.upstream.targets = 3;
+  cfg.upstream.seed = seed;
+  cfg.upstream.breaker.failure_threshold = 2;
+  cfg.upstream.breaker.open_cooldown_ticks = 100;
+  cfg.upstream.breaker.max_cooldown_ticks = 800;
+
+  SweepPoint point;
+  point.fault_permille = permille;
+  const auto start = Clock::now();
+  point.result = sipp::run_scenario(scenario, cfg);
+  point.seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  std::uint64_t ok_finals = 0;
+  for (const sipp::CallRecord& rec : point.result.chaos.calls)
+    if (rec.outcome == sipp::CallOutcome::Final && rec.final_status < 300)
+      ++ok_finals;
+  const std::size_t calls = point.result.chaos.calls.size();
+  point.goodput =
+      calls == 0 ? 0.0 : static_cast<double>(ok_finals) / calls;
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rg;
+  bool smoke = false;
+  std::uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else
+      seed = std::strtoull(argv[i], nullptr, 10);
+  }
+
+  std::printf(
+      "Resilience — goodput vs fault rate, T5 workload, 3 upstream targets, "
+      "seed %llu%s\n\n",
+      static_cast<unsigned long long>(seed), smoke ? ", smoke" : "");
+
+  const std::vector<std::uint32_t> rates =
+      smoke ? std::vector<std::uint32_t>{0, 300}
+            : std::vector<std::uint32_t>{0, 50, 100, 200, 300};
+
+  support::BenchJson json("resilience");
+  json.add("seed", seed);
+  json.add("smoke", smoke ? "true" : "false");
+  json.add("upstream_targets", 3);
+
+  support::Table table("goodput under rising two-hop fault rates");
+  table.header({"fault rate", "time [s]", "calls", "goodput", "fwd", "retry",
+                "failover", "degraded", "opens", "gave-up", "converged"});
+
+  bool all_converged = true;
+  bool monotone = true;
+  double prev_goodput = 1.0;
+  double last_goodput = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    const SweepPoint p = run_point(rates[i], seed);
+    const auto& c = p.result.chaos;
+    all_converged =
+        all_converged && c.converged() && p.result.sim.completed();
+    // Monotone within noise: a higher fault rate may never *help* goodput
+    // by more than a 2% ripple.
+    if (i > 0 && p.goodput > prev_goodput + 0.02) monotone = false;
+    prev_goodput = p.goodput;
+    last_goodput = p.goodput;
+
+    char t[32], g[32];
+    std::snprintf(t, sizeof t, "%.4f", p.seconds);
+    std::snprintf(g, sizeof g, "%.3f", p.goodput);
+    table.row(std::to_string(rates[i] / 10) + "." +
+                  std::to_string(rates[i] % 10) + "%",
+              t, std::to_string(c.calls.size()), g,
+              std::to_string(p.result.upstream_forwards),
+              std::to_string(p.result.upstream_retries),
+              std::to_string(p.result.upstream_failovers),
+              std::to_string(p.result.degraded_serves),
+              std::to_string(p.result.breaker_opens),
+              std::to_string(c.give_ups), c.converged() ? "yes" : "NO");
+    json.add("goodput_" + std::to_string(rates[i]) + "pm", p.goodput);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const bool no_cliff = last_goodput > 0.0;
+  std::printf(
+      "Goodput degrades monotonically [%s] and stays non-zero at a 30%% "
+      "fault rate [%s]; every call converges to an accounted terminal "
+      "state [%s].\n",
+      monotone ? "yes" : "NO", no_cliff ? "yes" : "NO",
+      all_converged ? "yes" : "NO");
+
+  json.add("monotone", monotone ? "true" : "false");
+  json.add("no_cliff", no_cliff ? "true" : "false");
+  json.add("all_converged", all_converged ? "true" : "false");
+  json.write();
+  return monotone && no_cliff && all_converged ? 0 : 1;
+}

@@ -17,6 +17,14 @@ const char* to_string(FaultKind kind) {
       return "reorder";
     case FaultKind::Stall:
       return "stall";
+    case FaultKind::UpstreamDrop:
+      return "up-drop";
+    case FaultKind::UpstreamDelay:
+      return "up-delay";
+    case FaultKind::UpstreamError:
+      return "up-error";
+    case FaultKind::UpstreamStall:
+      return "up-stall";
   }
   return "?";
 }
@@ -83,6 +91,12 @@ void ChaosEngine::record(FaultKind kind, std::uint64_t target,
     case FaultKind::Stall:
       ++stalls_;
       break;
+    case FaultKind::UpstreamDrop:
+    case FaultKind::UpstreamDelay:
+    case FaultKind::UpstreamError:
+    case FaultKind::UpstreamStall:
+      ++upstream_faults_;
+      break;
   }
 }
 
@@ -94,6 +108,46 @@ FaultDecision ChaosEngine::apply(std::uint64_t message_id,
   if (d.delay_ticks != 0)
     record(FaultKind::Delay, message_id, attempt, d.delay_ticks);
   return d;
+}
+
+UpstreamFault ChaosEngine::plan_upstream(std::uint64_t target_id,
+                                         std::uint64_t request_id,
+                                         std::uint32_t attempt) const {
+  UpstreamFault f;
+  if (!config_.any_upstream_faults()) return f;
+  // Fold the target identity into the salt so each (target, request,
+  // attempt) triple draws from its own decision stream — failover to a
+  // different target re-rolls the dice, as a distinct server would.
+  std::uint64_t salt_state = 0x44 ^ target_id;
+  const std::uint64_t salt = support::splitmix64(salt_state);
+  support::Xoshiro256 rng = stream(request_id, attempt, salt);
+  f.drop = rng.chance(config_.upstream_drop_permille, 1000);
+  if (!f.drop && rng.chance(config_.upstream_error_permille, 1000))
+    f.error = true;
+  if (!f.drop && config_.upstream_max_delay_ticks != 0 &&
+      rng.chance(config_.upstream_delay_permille, 1000))
+    f.delay_ticks = rng.range(1, config_.upstream_max_delay_ticks);
+  if (config_.upstream_max_stall_ticks != 0 &&
+      rng.chance(config_.upstream_stall_permille, 1000))
+    f.stall_ticks = rng.range(1, config_.upstream_max_stall_ticks);
+  return f;
+}
+
+UpstreamFault ChaosEngine::apply_upstream(std::uint64_t target_id,
+                                          std::uint64_t request_id,
+                                          std::uint32_t attempt) {
+  const UpstreamFault f = plan_upstream(target_id, request_id, attempt);
+  // detail layout: target id in the high 16 bits, ticks (when any) below.
+  const std::uint64_t tag = target_id << 48;
+  if (f.stall_ticks != 0)
+    record(FaultKind::UpstreamStall, request_id, attempt,
+           tag | f.stall_ticks);
+  if (f.drop) record(FaultKind::UpstreamDrop, request_id, attempt, tag | 1);
+  if (f.error) record(FaultKind::UpstreamError, request_id, attempt, tag | 1);
+  if (f.delay_ticks != 0)
+    record(FaultKind::UpstreamDelay, request_id, attempt,
+           tag | f.delay_ticks);
+  return f;
 }
 
 std::vector<std::size_t> ChaosEngine::delivery_order(std::uint64_t batch_id,

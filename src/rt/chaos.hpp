@@ -26,6 +26,11 @@ enum class FaultKind : std::uint8_t {
   Delay,      // delivery is postponed by some virtual ticks
   Reorder,    // a batch is delivered in a permuted order
   Stall,      // the injecting thread sleeps at an injection point
+  // Proxy <-> upstream hop (the forwarding path of the resilience layer).
+  UpstreamDrop,   // request or response lost: the attempt times out
+  UpstreamDelay,  // upstream answers late by some virtual ticks
+  UpstreamError,  // upstream answers 500 Server Internal Error
+  UpstreamStall,  // the forwarding worker stalls mid-attempt
 };
 
 const char* to_string(FaultKind kind);
@@ -47,10 +52,29 @@ struct ChaosConfig {
   /// Injected stalls are uniform in [1, max_stall_ticks] virtual ticks.
   std::uint64_t max_stall_ticks = 50;
 
+  // --- proxy <-> upstream hop --------------------------------------------
+  // The client-hop knobs above shape traffic the UA sends at the proxy; the
+  // knobs below shape the proxy's own forwarding attempts at its upstream
+  // targets. They are independent decision streams so a fault mix can be
+  // hostile on one hop and calm on the other.
+  std::uint32_t upstream_drop_permille = 0;
+  std::uint32_t upstream_delay_permille = 0;
+  /// Injected upstream delays are uniform in [1, upstream_max_delay_ticks].
+  std::uint64_t upstream_max_delay_ticks = 80;
+  /// Probability that the upstream answers 500 instead of serving.
+  std::uint32_t upstream_error_permille = 0;
+  std::uint32_t upstream_stall_permille = 0;
+  std::uint64_t upstream_max_stall_ticks = 30;
+
   bool any_faults() const {
     return drop_permille != 0 || duplicate_permille != 0 ||
            delay_permille != 0 || reorder_permille != 0 ||
            stall_permille != 0;
+  }
+
+  bool any_upstream_faults() const {
+    return upstream_drop_permille != 0 || upstream_delay_permille != 0 ||
+           upstream_error_permille != 0 || upstream_stall_permille != 0;
   }
 
   /// Pass-through (used to validate the harness itself).
@@ -96,6 +120,18 @@ struct FaultDecision {
   bool clean() const { return !drop && !duplicate && delay_ticks == 0; }
 };
 
+/// The plan for one forwarding attempt on the proxy <-> upstream hop.
+struct UpstreamFault {
+  bool drop = false;            // attempt times out (request/response lost)
+  bool error = false;           // upstream answers 500
+  std::uint64_t delay_ticks = 0;  // response latency added before answering
+  std::uint64_t stall_ticks = 0;  // forwarding worker stalled mid-attempt
+
+  bool clean() const {
+    return !drop && !error && delay_ticks == 0 && stall_ticks == 0;
+  }
+};
+
 /// One line of the injection trace.
 struct InjectionRecord {
   std::uint64_t seq = 0;       // position in the trace
@@ -128,6 +164,20 @@ class ChaosEngine {
   /// plan() plus trace recording. The per-fault counters are updated too.
   FaultDecision apply(std::uint64_t message_id, std::uint32_t attempt);
 
+  /// Pure fault plan for forwarding attempt `attempt` of `request_id` at
+  /// upstream `target_id`. Like plan(), order-independent: concurrent
+  /// forwarding workers can consult it in any interleaving.
+  UpstreamFault plan_upstream(std::uint64_t target_id,
+                              std::uint64_t request_id,
+                              std::uint32_t attempt) const;
+
+  /// plan_upstream() plus trace recording (the new fault site of the
+  /// resilience layer). The trace `target` field holds the request id;
+  /// `detail` packs the upstream target id in its high bits.
+  UpstreamFault apply_upstream(std::uint64_t target_id,
+                               std::uint64_t request_id,
+                               std::uint32_t attempt);
+
   /// Seeded delivery order for a batch of `n` messages: identity when the
   /// reorder fault does not fire, a Fisher-Yates permutation otherwise.
   std::vector<std::size_t> delivery_order(std::uint64_t batch_id,
@@ -149,6 +199,7 @@ class ChaosEngine {
   std::uint64_t delayed() const { return delayed_; }
   std::uint64_t reordered_batches() const { return reordered_; }
   std::uint64_t stalls() const { return stalls_; }
+  std::uint64_t upstream_faults() const { return upstream_faults_; }
 
  private:
   /// Independent decision stream for (target, attempt, salt).
@@ -166,6 +217,7 @@ class ChaosEngine {
   std::uint64_t delayed_ = 0;
   std::uint64_t reordered_ = 0;
   std::uint64_t stalls_ = 0;
+  std::uint64_t upstream_faults_ = 0;
 };
 
 }  // namespace rg::rt

@@ -84,6 +84,7 @@ Proxy::Proxy(const ProxyConfig& config)
     : config_(config),
       pool_(/*force_new=*/!config.faults.pooled_allocator_reuse),
       stats_(config.faults.benign_stats_races),
+      upstreams_(config.upstream, &stats_),
       request_log_("request-log", pool_),
       transaction_log_("transaction-log", pool_),
       stop_mu_("proxy-stop-mutex"),
@@ -122,6 +123,9 @@ void Proxy::start(const std::source_location& /*loc*/) {
   handlers_[static_cast<std::size_t>(Method::Info)] = new InfoHandler;
   handlers_[static_cast<std::size_t>(Method::Unknown)] = new DefaultHandler;
 
+  // Upstream targets come up with the proxy (no-op when not configured).
+  upstreams_.start();
+
   if (config_.faults.racy_deadlock_monitor) monitor_.start();
 
   if (config_.faults.init_order_race) {
@@ -159,6 +163,10 @@ void Proxy::shutdown(const std::source_location& /*loc*/) {
     modules_.clear(/*annotated=*/true);
 
   if (monitor_.running()) monitor_.stop();
+
+  // Upstream targets are torn down by concurrent teardown threads (the
+  // §4.2.1 destructor workload on the forwarding path).
+  upstreams_.shutdown();
 
   dialogs_.clear();
   transactions_.clear();
@@ -425,21 +433,36 @@ std::unique_ptr<SipResponse> InviteHandler::handle(
           : proxy.modules().find_domain(target.host);
   if (domain == nullptr) return proxy.make_response(403, request);
 
-  // Max-Forwards screening against the domain policy.
+  // Max-Forwards enforcement (RFC 3261 §16.3): the effective hop budget is
+  // the smaller of the domain policy and the request header, and a request
+  // that arrives with no hops left is refused — 483 Too Many Hops — rather
+  // than forwarded. (The seed parsed the header and then discarded it.)
   std::uint32_t max_forwards = domain->max_forwards();
   if (request.has_header("max-forwards")) {
     std::uint32_t mf = 0;
-    if (support::parse_u32(request.header("max-forwards").str(), mf) &&
-        mf == 0)
-      return proxy.make_response(483, request);
-    max_forwards = std::min(max_forwards, mf);
+    if (support::parse_u32(request.header("max-forwards").str(), mf))
+      max_forwards = std::min(max_forwards, mf);
   }
-  (void)max_forwards;
+  if (max_forwards == 0) {
+    proxy.stats().count_too_many_hops();
+    return proxy.make_response(483, request);
+  }
 
   const cow_string contact = proxy.registrar().lookup(target.aor());
   if (contact.empty()) return proxy.make_response(404, request);
 
-  // "Forward" — the downstream UA answers immediately in this testbed.
+  // Forward through the upstream resilience pool (retry + failover +
+  // breakers, in virtual time). When every target is down, degrade
+  // gracefully: the registrar's cached binding still answers the call.
+  bool degraded = false;
+  if (proxy.upstreams().enabled()) {
+    const std::string branch = via_branch(request.header("via").str());
+    const ForwardResult fwd = proxy.upstreams().forward(request_key(branch));
+    if (fwd.outcome != ForwardOutcome::Forwarded) {
+      proxy.stats().count_degraded();
+      degraded = true;
+    }
+  }
   proxy.stats().count_forward();
   proxy.dialogs().create(request.header("call-id").str(),
                          request.body(), proxy.now());
@@ -448,6 +471,9 @@ std::unique_ptr<SipResponse> InviteHandler::handle(
   // Record-Route from the shared domain route string (cow rep shared
   // across every worker thread — the Figs. 8/9 counter pattern).
   response->add_header("record-route", domain->route());
+  if (degraded)
+    response->add_header(
+        "warning", cow_string("199 rg \"degraded: served from registrar\""));
   return response;
 }
 
@@ -492,6 +518,22 @@ std::unique_ptr<SipResponse> OptionsHandler::handle(
     Proxy& proxy, const SipRequest& request, const std::source_location& /*loc*/) {
   virtual_dispatch();
   RG_FRAME();
+  // Capability interrogation is answered by the upstream feature server
+  // when one is configured. Unlike INVITE there is no registrar data to
+  // fall back on, so when the pool is exhausted or every breaker is open
+  // the proxy sheds: 503 with a backoff-derived Retry-After instead of
+  // stalling the client.
+  if (proxy.upstreams().enabled()) {
+    const std::string branch = via_branch(request.header("via").str());
+    const ForwardResult fwd = proxy.upstreams().forward(request_key(branch));
+    if (fwd.outcome != ForwardOutcome::Forwarded) {
+      proxy.stats().count_upstream_shed();
+      auto shed = proxy.make_response(503, request);
+      shed->add_header("retry-after",
+                       cow_string(std::to_string(fwd.retry_after_s)));
+      return shed;
+    }
+  }
   auto response = proxy.make_response(200, request);
   response->add_header("allow", cow_string(proxy.allow_header_));
   return response;

@@ -28,6 +28,7 @@
 #include "sip/registrar.hpp"
 #include "sip/stats.hpp"
 #include "sip/transaction.hpp"
+#include "sip/upstream.hpp"
 
 namespace rg::sip {
 
@@ -64,6 +65,9 @@ struct OverloadConfig {
 struct ProxyConfig {
   FaultConfig faults;
   OverloadConfig overload;
+  /// Upstream resilience layer. Zero targets (the default) disables
+  /// forwarding entirely, so classic runs see a bit-identical event stream.
+  UpstreamConfig upstream;
   std::string domain = "example.com";
   /// Additional domains the proxy serves.
   std::vector<std::string> extra_domains = {"voip.example.net",
@@ -109,6 +113,9 @@ class Proxy {
       const std::source_location& loc = std::source_location::current());
 
   Registrar& registrar() { return registrar_; }
+  UpstreamPool& upstreams() { return upstreams_; }
+  /// Chaos engine consulted on the proxy<->upstream hop (may be null).
+  void set_chaos(rt::ChaosEngine* chaos) { upstreams_.set_chaos(chaos); }
   ServerModulesManagerImpl& modules() { return modules_; }
   TransactionTable& transactions() { return transactions_; }
   DialogTable& dialogs() { return dialogs_; }
@@ -145,6 +152,8 @@ class Proxy {
   TransactionTable transactions_;
   DialogTable dialogs_;
   ProxyStats stats_;
+  /// Must follow stats_ (the pool counts into it).
+  UpstreamPool upstreams_;
   DeadlockMonitor monitor_;
   AuditLog request_log_;
   AuditLog transaction_log_;

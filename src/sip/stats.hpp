@@ -58,6 +58,58 @@ class ProxyStats {
     return tx_peak_.load(std::memory_order_relaxed);
   }
 
+  // Upstream-resilience gauges (same contract as the overload set above:
+  // plain atomics, never detector-visible, never a scheduling point).
+  /// A request was answered by an upstream target.
+  void count_upstream_forward() {
+    upstream_forwards_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t upstream_forwards() const {
+    return upstream_forwards_.load(std::memory_order_relaxed);
+  }
+  /// A forwarding attempt was retried after backoff.
+  void count_upstream_retry() {
+    upstream_retries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t upstream_retries() const {
+    return upstream_retries_.load(std::memory_order_relaxed);
+  }
+  /// A request was served by a retry or a non-preferred target.
+  void count_failover() {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  /// Upstream unavailable but the request was served from registrar data.
+  void count_degraded() {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t degraded_serves() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  /// Upstream unavailable and nothing cached: 503 + Retry-After.
+  void count_upstream_shed() {
+    upstream_sheds_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t upstream_sheds() const {
+    return upstream_sheds_.load(std::memory_order_relaxed);
+  }
+  /// A circuit breaker tripped open.
+  void count_breaker_open() {
+    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t breaker_opens() const {
+    return breaker_opens_.load(std::memory_order_relaxed);
+  }
+  /// A request was refused with 483 Too Many Hops.
+  void count_too_many_hops() {
+    too_many_hops_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t too_many_hops() const {
+    return too_many_hops_.load(std::memory_order_relaxed);
+  }
+
   std::uint64_t requests(const std::source_location& loc =
                              std::source_location::current()) const;
   std::uint64_t responses_2xx(const std::source_location& loc =
@@ -93,6 +145,13 @@ class ProxyStats {
   std::atomic<std::uint64_t> sheds_{0};
   std::atomic<std::uint32_t> inflight_{0};
   std::atomic<std::uint64_t> tx_peak_{0};
+  std::atomic<std::uint64_t> upstream_forwards_{0};
+  std::atomic<std::uint64_t> upstream_retries_{0};
+  std::atomic<std::uint64_t> failovers_{0};
+  std::atomic<std::uint64_t> degraded_{0};
+  std::atomic<std::uint64_t> upstream_sheds_{0};
+  std::atomic<std::uint64_t> breaker_opens_{0};
+  std::atomic<std::uint64_t> too_many_hops_{0};
 };
 
 }  // namespace rg::sip

@@ -1,0 +1,276 @@
+// Upstream resilience layer — deterministic failover under chaos.
+//
+// The paper's proxy forwards signalling to upstream servers that fail, time
+// out and come back; this module reproduces that hop inside the simulator.
+// An UpstreamPool holds N simulated targets, each wrapped in a three-state
+// circuit breaker (closed -> open -> half-open with a single probe).
+// Forwarding retries across targets with capped exponential backoff plus
+// decorrelated jitter drawn from a seeded PRNG, bounded by a per-request
+// deadline budget propagated from the client's timer B. Every sleep is spent
+// in the scheduler's *virtual* time and every random draw flows from stable
+// identifiers, so a (scheduler seed, chaos seed, pool seed) triple replays
+// the whole adverse execution bit-identically — breaker transitions
+// included. Targets are SipObject-derived and torn down concurrently at
+// shutdown, feeding the §4.2.1 destructor workload.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rt/chaos.hpp"
+#include "rt/sync.hpp"
+#include "sip/message.hpp"
+#include "support/prng.hpp"
+
+namespace rg::sip {
+
+class ProxyStats;
+class UpstreamPool;
+
+// --- circuit breaker ---------------------------------------------------------
+
+enum class BreakerState : std::uint8_t { Closed, Open, HalfOpen };
+
+const char* to_string(BreakerState s);
+
+struct BreakerConfig {
+  /// Consecutive failures that trip a closed breaker open.
+  std::uint32_t failure_threshold = 3;
+  /// Base open cooldown; each reopen without an intervening close doubles
+  /// it (capped), so a flapping target is probed less and less often.
+  std::uint64_t open_cooldown_ticks = 200;
+  std::uint64_t max_cooldown_ticks = 1600;
+};
+
+/// One recorded breaker transition (the soak tier asserts the log is
+/// monotone: virtual time never decreases, every edge is a legal one and
+/// reopen cooldowns only grow until a close resets them).
+struct BreakerTransition {
+  std::uint64_t vtime = 0;
+  std::uint32_t target = 0;
+  BreakerState from = BreakerState::Closed;
+  BreakerState to = BreakerState::Closed;
+  /// Cooldown armed by this transition (non-zero only when opening).
+  std::uint64_t cooldown = 0;
+};
+
+/// Three-state circuit breaker. Pure state machine over an explicit clock:
+/// callers pass `now` (virtual ticks) and synchronise externally (the
+/// owning target's mutex), which keeps the machine unit-testable without a
+/// Sim and keeps its bookkeeping out of the detector event stream.
+class CircuitBreaker {
+ public:
+  enum class Admit : std::uint8_t {
+    Allow,   // closed: request may proceed
+    Probe,   // half-open: this caller carries the single probe
+    Reject,  // open, or a probe is already in flight
+  };
+
+  explicit CircuitBreaker(const BreakerConfig& config);
+
+  Admit admit(std::uint64_t now);
+  void on_success(std::uint64_t now);
+  void on_failure(std::uint64_t now);
+
+  BreakerState state() const { return state_; }
+  std::uint64_t open_until() const { return open_until_; }
+  std::uint64_t cooldown() const { return cooldown_; }
+  std::uint32_t consecutive_failures() const { return failures_; }
+  /// Times this breaker opened since the last successful close.
+  std::uint32_t reopen_streak() const { return opens_streak_; }
+
+  /// Transition observer (target id is supplied by the owner).
+  using Listener = void (*)(void* ctx, BreakerState from, BreakerState to,
+                            std::uint64_t now, std::uint64_t cooldown);
+  void set_listener(Listener listener, void* ctx) {
+    listener_ = listener;
+    listener_ctx_ = ctx;
+  }
+
+ private:
+  void open(std::uint64_t now);
+  void transition(BreakerState to, std::uint64_t now, std::uint64_t cooldown);
+
+  BreakerConfig config_;
+  BreakerState state_ = BreakerState::Closed;
+  std::uint32_t failures_ = 0;      // consecutive failures while closed
+  std::uint32_t opens_streak_ = 0;  // opens since the last close
+  std::uint64_t open_until_ = 0;
+  std::uint64_t cooldown_ = 0;
+  bool probe_inflight_ = false;
+  Listener listener_ = nullptr;
+  void* listener_ctx_ = nullptr;
+};
+
+// --- upstream targets --------------------------------------------------------
+
+/// What one forwarding attempt at one target came back with.
+struct ServeOutcome {
+  bool timed_out = false;
+  int status = 0;
+
+  bool ok() const { return !timed_out && status != 0 && status < 500; }
+};
+
+struct UpstreamConfig {
+  /// Simulated upstream targets; 0 disables forwarding entirely (the
+  /// classic experiment paths then see a bit-identical event stream).
+  std::size_t targets = 0;
+  /// Seed of the backoff-jitter streams (independent of the chaos seed).
+  std::uint64_t seed = 1;
+  /// Attempt ceiling per request, failover included.
+  std::uint32_t max_attempts = 4;
+  /// One attempt times out after this many virtual ticks.
+  std::uint64_t per_try_timeout_ticks = 60;
+  /// Per-request deadline budget in virtual ticks; retries stop when the
+  /// next backoff would overrun it. 0 = unbounded (the experiment harness
+  /// propagates the ChaosClient's timer-B budget here).
+  std::uint64_t request_budget_ticks = 0;
+  /// Decorrelated-jitter backoff: sleep ~ U[base, min(cap, prev * 3)].
+  std::uint64_t backoff_base_ticks = 8;
+  std::uint64_t backoff_cap_ticks = 120;
+  /// Healthy-target service latency (virtual ticks).
+  std::uint64_t service_ticks = 2;
+  /// Virtual-tick length of one advertised Retry-After second.
+  std::uint64_t ticks_per_second = 10;
+  BreakerConfig breaker;
+
+  bool enabled() const { return targets != 0; }
+};
+
+/// One simulated upstream server. Polymorphic + shared between forwarding
+/// workers + deleted concurrently at shutdown: the destructor-annotation
+/// workload class of §4.2.1, now on the forwarding path.
+class UpstreamTarget : public SipObject {
+ public:
+  UpstreamTarget(std::uint32_t id, const UpstreamConfig& config,
+                 UpstreamPool* pool);
+  ~UpstreamTarget() override;
+
+  std::uint32_t id() const { return id_; }
+
+  /// Serves one forwarding attempt, consulting the chaos engine for the
+  /// proxy<->upstream fault plan. Sleeps service/fault latency in virtual
+  /// time. Does not touch the breaker: the pool settles that from the
+  /// outcome so the admit/serve/settle sequence stays explicit.
+  virtual ServeOutcome serve(std::uint64_t request_id, std::uint32_t attempt,
+                             rt::ChaosEngine* chaos);
+
+  /// Breaker gate for one attempt (may transition open -> half-open).
+  CircuitBreaker::Admit admit(std::uint64_t now);
+  /// Settles the attempt the breaker admitted.
+  void settle(std::uint64_t now, bool success);
+
+  BreakerState breaker_state() const;
+  std::uint64_t breaker_open_until() const;
+  std::uint64_t breaker_cooldown() const;
+
+  std::uint64_t served() const;
+  std::uint64_t failed() const;
+
+ private:
+  static void breaker_listener(void* ctx, BreakerState from, BreakerState to,
+                               std::uint64_t now, std::uint64_t cooldown);
+
+  std::uint32_t id_;
+  const UpstreamConfig& config_;
+  UpstreamPool* pool_;
+  mutable rt::mutex mu_;
+  CircuitBreaker breaker_;            // guarded by mu_
+  rt::tracked<std::uint64_t> served_;  // guarded by mu_
+  rt::tracked<std::uint64_t> failed_;  // guarded by mu_
+};
+
+// --- the pool ---------------------------------------------------------------
+
+enum class ForwardOutcome : std::uint8_t {
+  Disabled,   // no targets configured: forwarding is a pass-through
+  Forwarded,  // an upstream target answered
+  Exhausted,  // attempts/deadline budget spent without an answer
+  AllOpen,    // every breaker rejected the request
+};
+
+const char* to_string(ForwardOutcome o);
+
+struct ForwardResult {
+  ForwardOutcome outcome = ForwardOutcome::Disabled;
+  int status = 0;            // upstream answer when Forwarded
+  std::uint32_t attempts = 0;
+  std::uint32_t target = 0;  // serving target id when Forwarded
+  bool failover = false;     // served by a retry or a non-preferred target
+  /// Backoff-derived Retry-After (seconds) to advertise on a shed 503.
+  std::uint32_t retry_after_s = 1;
+};
+
+/// Stable identity of a request on the upstream hop (FNV-1a of the Via
+/// branch): retransmissions of one transaction re-roll nothing.
+std::uint64_t request_key(std::string_view branch);
+
+class UpstreamPool {
+ public:
+  UpstreamPool(const UpstreamConfig& config, ProxyStats* stats);
+  ~UpstreamPool();
+
+  UpstreamPool(const UpstreamPool&) = delete;
+  UpstreamPool& operator=(const UpstreamPool&) = delete;
+
+  bool enabled() const { return config_.enabled(); }
+  const UpstreamConfig& config() const { return config_; }
+
+  /// Creates the targets (no-op when disabled).
+  void start();
+  /// Concurrent teardown: several teardown threads delete the shared
+  /// polymorphic targets with annotated deletes (§4.2.1). Idempotent.
+  void shutdown();
+
+  /// Chaos engine consulted on the proxy<->upstream hop (may be null).
+  void set_chaos(rt::ChaosEngine* chaos) { chaos_ = chaos; }
+
+  /// Forwards one request: retry with failover, capped decorrelated-jitter
+  /// backoff in virtual time, per-request deadline budget.
+  ForwardResult forward(std::uint64_t request_id);
+
+  std::size_t size() const { return targets_.size(); }
+  UpstreamTarget* target(std::size_t i) { return targets_[i]; }
+
+  /// Min remaining open cooldown across targets, as advertised seconds
+  /// (>= 1); the base cooldown when nothing is open.
+  std::uint32_t retry_after_hint_s(std::uint64_t now) const;
+
+  /// Trips every breaker open at `now` (tests / drills).
+  void force_open_all(std::uint64_t now);
+
+  // Breaker transition log --------------------------------------------------
+  std::vector<BreakerTransition> transitions() const;
+  /// Canonical rendering; two runs replay identically iff equal.
+  std::string transitions_text() const;
+  std::uint64_t breaker_opens() const;
+
+ private:
+  friend class UpstreamTarget;
+  void record_transition(std::uint32_t target, BreakerState from,
+                         BreakerState to, std::uint64_t now,
+                         std::uint64_t cooldown);
+  static std::uint64_t now();
+
+  UpstreamConfig config_;
+  ProxyStats* stats_;
+  rt::ChaosEngine* chaos_ = nullptr;
+  std::vector<UpstreamTarget*> targets_;
+  // Infrastructure bookkeeping (never detector-visible, like the chaos
+  // trace): a plain mutex so the log adds no scheduling points.
+  mutable std::mutex log_mu_;
+  std::vector<BreakerTransition> log_;
+  std::uint64_t opens_ = 0;
+};
+
+/// Checks a transition log for monotonicity: non-decreasing virtual time,
+/// legal edges only, per-target reopen cooldowns non-decreasing until a
+/// close resets them. Fills `error` with the first violation.
+bool validate_transitions(const std::vector<BreakerTransition>& log,
+                          std::string* error);
+
+}  // namespace rg::sip

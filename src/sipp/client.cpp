@@ -32,6 +32,7 @@ void ChaosRunResult::merge(const ChaosRunResult& other) {
   absorbed += other.absorbed;
   deliveries += other.deliveries;
   retransmissions += other.retransmissions;
+  hinted_retries += other.hinted_retries;
 }
 
 namespace {
@@ -50,6 +51,19 @@ int response_status(const std::string& wire) {
     status = status * 10 + (wire[i] - '0');
   }
   return status;
+}
+
+/// Advertised Retry-After seconds of a shed 503, 0 when absent. Same
+/// plain-slicing contract as response_status().
+std::uint32_t retry_after_hint(const std::string& wire) {
+  constexpr std::string_view kHeader = "\r\nRetry-After: ";
+  const std::size_t pos = wire.find(kHeader);
+  if (pos == std::string::npos) return 0;
+  std::uint32_t seconds = 0;
+  for (std::size_t i = pos + kHeader.size();
+       i < wire.size() && wire[i] >= '0' && wire[i] <= '9'; ++i)
+    seconds = seconds * 10 + static_cast<std::uint32_t>(wire[i] - '0');
+  return seconds;
 }
 
 std::uint64_t virtual_now() {
@@ -77,7 +91,6 @@ CallRecord ChaosClient::drive_call(const std::string& wire,
   std::uint64_t interval = timers_.t1;
   std::uint64_t waited = 0;
   for (std::uint32_t attempt = 0;; ++attempt) {
-    if (attempt != 0) ++rec.retransmissions;
     const rt::FaultDecision fault = chaos_.apply(message_id, attempt);
     bool delivered = false;
     std::string response;
@@ -100,6 +113,22 @@ CallRecord ChaosClient::drive_call(const std::string& wire,
       }
       const int status = response_status(response);
       if (status >= 200) {
+        if (status == 503 && timers_.honor_retry_after) {
+          // RFC 3261 §21.5.4: the shed response advertises when to come
+          // back. Honor the hint (in virtual time) and retry with a fresh
+          // T1 interval — unless timer B/F would fire first, in which case
+          // the 503 is terminal as before.
+          const std::uint64_t hint_ticks =
+              retry_after_hint(response) * timers_.ticks_per_second;
+          if (hint_ticks != 0 &&
+              waited + hint_ticks <= timers_.giveup_after()) {
+            ++rec.hinted_retries;
+            rt::sleep_ticks(hint_ticks);
+            waited += hint_ticks;
+            interval = timers_.t1;
+            continue;
+          }
+        }
         rec.final_status = status;
         rec.outcome =
             status == 503 ? CallOutcome::Shed : CallOutcome::Final;
@@ -113,6 +142,7 @@ CallRecord ChaosClient::drive_call(const std::string& wire,
       rec.outcome = CallOutcome::GaveUp;
       break;
     }
+    ++rec.retransmissions;
     rt::sleep_ticks(interval);
     waited += interval;
     interval = std::min(interval * 2, timers_.t2);
@@ -155,6 +185,7 @@ ChaosRunResult ChaosClient::run_phase(const std::vector<std::string>& wires) {
   for (const CallRecord& rec : result.calls) {
     result.deliveries += rec.deliveries;
     result.retransmissions += rec.retransmissions;
+    result.hinted_retries += rec.hinted_retries;
     switch (rec.outcome) {
       case CallOutcome::Final:
         ++result.finals;

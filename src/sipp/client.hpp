@@ -32,6 +32,13 @@ struct RetransmitTimers {
   std::uint64_t t2 = 400;
   /// Timer B/F fires `giveup_factor * t1` after the first send.
   std::uint32_t giveup_factor = 64;
+  /// Honor a Retry-After hint on a shed 503 (RFC 3261 §21.5.4): sleep the
+  /// advertised interval in virtual time and retry, as long as timer B/F
+  /// still has room. Off = the pre-hint behaviour (503 is terminal).
+  bool honor_retry_after = true;
+  /// Virtual-tick length of one advertised Retry-After second (matches
+  /// UpstreamConfig::ticks_per_second).
+  std::uint64_t ticks_per_second = 10;
 
   std::uint64_t giveup_after() const { return giveup_factor * t1; }
 };
@@ -53,6 +60,9 @@ struct CallRecord {
   int final_status = 0;
   std::uint32_t deliveries = 0;  // wire deliveries, duplicates included
   std::uint32_t retransmissions = 0;
+  /// Retries taken because a shed 503 advertised Retry-After (accounted
+  /// separately from timer-driven retransmissions).
+  std::uint32_t hinted_retries = 0;
   CallOutcome outcome = CallOutcome::Pending;
   std::uint64_t finished_at = 0;  // virtual time
 };
@@ -65,6 +75,7 @@ struct ChaosRunResult {
   std::uint64_t absorbed = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t retransmissions = 0;
+  std::uint64_t hinted_retries = 0;
 
   /// Every call reached a terminal state.
   bool converged() const {

@@ -37,7 +37,16 @@ ExperimentResult run_scenario(const Scenario& scenario,
     sip::ProxyConfig proxy_cfg;
     proxy_cfg.faults = config.faults;
     proxy_cfg.overload = config.overload;
+    proxy_cfg.upstream = config.upstream;
+    if (proxy_cfg.upstream.enabled() &&
+        proxy_cfg.upstream.request_budget_ticks == 0) {
+      // Deadline propagation: the forwarding hop may spend at most half of
+      // the client's timer-B budget, leaving the other half for the UA's
+      // own retransmission schedule.
+      proxy_cfg.upstream.request_budget_ticks = config.timers.giveup_after() / 2;
+    }
     sip::Proxy proxy(proxy_cfg);
+    if (proxy_cfg.upstream.enabled()) proxy.set_chaos(&chaos);
 
     proxy.start();
     if (use_chaos_client) {
@@ -62,7 +71,16 @@ ExperimentResult run_scenario(const Scenario& scenario,
     }
     result.proxy_sheds = proxy.stats().sheds();
     result.transaction_peak = proxy.stats().transaction_peak();
+    result.upstream_forwards = proxy.stats().upstream_forwards();
+    result.upstream_retries = proxy.stats().upstream_retries();
+    result.upstream_failovers = proxy.stats().failovers();
+    result.degraded_serves = proxy.stats().degraded_serves();
+    result.upstream_sheds = proxy.stats().upstream_sheds();
+    result.breaker_opens = proxy.stats().breaker_opens();
     proxy.shutdown();
+    result.breaker_transitions = proxy.upstreams().transitions_text();
+    result.transitions_monotone = sip::validate_transitions(
+        proxy.upstreams().transitions(), &result.transitions_error);
   });
   result.injection_trace = chaos.trace_text();
   result.report_overflow = helgrind.reports().overflow_reports();

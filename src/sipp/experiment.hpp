@@ -45,6 +45,10 @@ struct ExperimentConfig {
   RetransmitTimers timers;
   /// Proxy overload-control watermarks (zero = unlimited, classic runs).
   sip::OverloadConfig overload;
+  /// Upstream resilience pool (zero targets = disabled, classic runs).
+  /// When enabled with request_budget_ticks == 0 the harness propagates
+  /// half the ChaosClient's timer-B budget as the forwarding deadline.
+  sip::UpstreamConfig upstream;
   /// Detector report cap (ReportManager hardening); 0 = unlimited.
   std::size_t report_cap = 0;
 
@@ -83,6 +87,20 @@ struct ExperimentResult {
   std::uint64_t proxy_sheds = 0;
   /// Highest transaction-table size observed while overload control was on.
   std::uint64_t transaction_peak = 0;
+
+  // --- upstream resilience ------------------------------------------------
+  /// Canonical breaker transition log; equal strings == identical replay.
+  std::string breaker_transitions;
+  /// validate_transitions() verdict on that log (vacuously true when the
+  /// pool is disabled).
+  bool transitions_monotone = true;
+  std::string transitions_error;
+  std::uint64_t upstream_forwards = 0;
+  std::uint64_t upstream_retries = 0;
+  std::uint64_t upstream_failovers = 0;
+  std::uint64_t degraded_serves = 0;
+  std::uint64_t upstream_sheds = 0;
+  std::uint64_t breaker_opens = 0;
 };
 
 /// Runs `scenario` once. Deterministic in (scenario, config).

@@ -1,0 +1,145 @@
+#include "sipp/soak.hpp"
+
+#include <map>
+
+#include "sipp/testcases.hpp"
+
+namespace rg::sipp {
+
+std::vector<SoakMix> default_soak_mixes() {
+  std::vector<SoakMix> mixes;
+
+  {
+    SoakMix mix;
+    mix.name = "upstream-light";
+    mix.chaos.upstream_drop_permille = 60;
+    mix.chaos.upstream_delay_permille = 150;
+    mix.chaos.upstream_error_permille = 60;
+    mix.chaos.upstream_stall_permille = 40;
+    mixes.push_back(mix);
+  }
+  {
+    SoakMix mix;
+    mix.name = "upstream-heavy";
+    mix.chaos.upstream_drop_permille = 200;
+    mix.chaos.upstream_delay_permille = 300;
+    mix.chaos.upstream_error_permille = 150;
+    mix.chaos.upstream_stall_permille = 80;
+    mixes.push_back(mix);
+  }
+  {
+    SoakMix mix;
+    mix.name = "both-hops";
+    mix.chaos.drop_permille = 50;
+    mix.chaos.duplicate_permille = 50;
+    mix.chaos.delay_permille = 100;
+    mix.chaos.max_delay_ticks = 100;
+    mix.chaos.reorder_permille = 200;
+    mix.chaos.upstream_drop_permille = 120;
+    mix.chaos.upstream_delay_permille = 200;
+    mix.chaos.upstream_error_permille = 80;
+    mixes.push_back(mix);
+  }
+  return mixes;
+}
+
+ExperimentConfig soak_experiment(std::uint64_t seed, const SoakMix& mix) {
+  ExperimentConfig config;
+  config.seed = seed;
+  // The resilience soak measures the *forwarding* layer, not the seeded
+  // defect classes: a clean proxy keeps the convergence criterion crisp.
+  config.faults = sip::FaultConfig::none();
+  config.detector = core::HelgrindConfig::hwlc_dr();
+  config.chaos = mix.chaos;
+  config.chaos.seed = seed;
+  config.chaos_client = true;
+  config.parallelism = 4;
+  config.upstream.targets = 3;
+  config.upstream.seed = seed;
+  // Soak-tuned breaker: trips fast and probes often, so a few hundred
+  // calls exercise the full closed/open/half-open cycle several times.
+  config.upstream.breaker.failure_threshold = 2;
+  config.upstream.breaker.open_cooldown_ticks = 100;
+  config.upstream.breaker.max_cooldown_ticks = 800;
+  return config;
+}
+
+std::string outcome_counts_text(const ChaosRunResult& run) {
+  std::string text;
+  text += "calls=" + std::to_string(run.calls.size());
+  text += " final=" + std::to_string(run.finals);
+  text += " shed=" + std::to_string(run.shed);
+  text += " gave-up=" + std::to_string(run.give_ups);
+  text += " absorbed=" + std::to_string(run.absorbed);
+  text += " hinted=" + std::to_string(run.hinted_retries);
+  // Final-status multiset, in status order (map iteration is sorted).
+  std::map<int, std::uint64_t> by_status;
+  for (const CallRecord& rec : run.calls)
+    if (rec.final_status != 0) ++by_status[rec.final_status];
+  for (const auto& [status, count] : by_status)
+    text += " " + std::to_string(status) + "x" + std::to_string(count);
+  return text;
+}
+
+SoakCell run_soak_cell(std::uint64_t seed, const SoakMix& mix) {
+  const ExperimentConfig config = soak_experiment(seed, mix);
+  const Scenario scenario = build_testcase(5, seed);
+  const ExperimentResult result = run_scenario(scenario, config);
+
+  SoakCell cell;
+  cell.seed = seed;
+  cell.mix = mix.name;
+  cell.converged = result.chaos.converged();
+  cell.monotone = result.transitions_monotone;
+  cell.monotone_error = result.transitions_error;
+  cell.injection_trace = result.injection_trace;
+  cell.breaker_transitions = result.breaker_transitions;
+  cell.outcomes = outcome_counts_text(result.chaos);
+  cell.calls = result.chaos.calls.size();
+  cell.finals = result.chaos.finals;
+  cell.shed = result.chaos.shed;
+  cell.give_ups = result.chaos.give_ups;
+  cell.hinted_retries = result.chaos.hinted_retries;
+  cell.upstream_forwards = result.upstream_forwards;
+  cell.upstream_failovers = result.upstream_failovers;
+  cell.degraded_serves = result.degraded_serves;
+  cell.breaker_opens = result.breaker_opens;
+  return cell;
+}
+
+SoakMatrixResult run_soak_matrix(const std::vector<std::uint64_t>& seeds,
+                                 const std::vector<SoakMix>& mixes,
+                                 bool verify_replay) {
+  SoakMatrixResult matrix;
+  for (const SoakMix& mix : mixes) {
+    for (const std::uint64_t seed : seeds) {
+      SoakCell cell = run_soak_cell(seed, mix);
+      const std::string label =
+          "(" + mix.name + ", seed " + std::to_string(seed) + ")";
+      if (!cell.converged) {
+        matrix.all_converged = false;
+        if (matrix.first_error.empty())
+          matrix.first_error = label + ": lost transactions";
+      }
+      if (!cell.monotone) {
+        matrix.all_monotone = false;
+        if (matrix.first_error.empty())
+          matrix.first_error = label + ": " + cell.monotone_error;
+      }
+      if (verify_replay) {
+        const SoakCell replay = run_soak_cell(seed, mix);
+        if (replay.injection_trace != cell.injection_trace ||
+            replay.breaker_transitions != cell.breaker_transitions ||
+            replay.outcomes != cell.outcomes) {
+          matrix.replay_identical = false;
+          if (matrix.first_error.empty())
+            matrix.first_error = label + ": replay diverged";
+        }
+      }
+      matrix.cells.push_back(std::move(cell));
+    }
+  }
+  return matrix;
+}
+
+}  // namespace rg::sipp

@@ -1,0 +1,93 @@
+// Replayable chaos soak — the acceptance tier of the resilience layer.
+//
+// A soak cell is (seed, fault mix): one T5 heavy-mixed-traffic scenario
+// driven by the retransmitting ChaosClient through a proxy whose upstream
+// pool is under proxy<->upstream fault injection. The matrix sweeps seeds x
+// mixes and asserts, per cell:
+//   - zero lost transactions (every call reaches a terminal outcome),
+//   - a monotone breaker transition log (legal edges, time never runs
+//     backwards, reopen cooldowns only grow until a close),
+//   - bit-identical replay: re-running the cell reproduces the injection
+//     trace, the breaker transitions and the outcome multiset exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rt/chaos.hpp"
+#include "sipp/experiment.hpp"
+
+namespace rg::sipp {
+
+/// One fault mix of the soak matrix.
+struct SoakMix {
+  std::string name;
+  rt::ChaosConfig chaos;
+};
+
+/// The three standard mixes: upstream-hop-only light, upstream-hop-only
+/// heavy, and adverse weather on both hops at once.
+std::vector<SoakMix> default_soak_mixes();
+
+/// Experiment configuration of one soak cell (ChaosClient, hwlc_dr
+/// detector, 3 upstream targets, soak-tuned breaker cooldowns).
+ExperimentConfig soak_experiment(std::uint64_t seed, const SoakMix& mix);
+
+/// Canonical outcome accounting of a chaos run: terminal-state counters
+/// plus the per-status multiset of final responses. Two runs produced the
+/// same outcomes iff these strings are equal.
+std::string outcome_counts_text(const ChaosRunResult& run);
+
+/// One executed cell of the matrix.
+struct SoakCell {
+  std::uint64_t seed = 0;
+  std::string mix;
+
+  bool converged = false;          // zero lost transactions
+  bool monotone = false;           // breaker log passed validation
+  std::string monotone_error;
+
+  std::string injection_trace;     // canonical chaos trace
+  std::string breaker_transitions; // canonical breaker log
+  std::string outcomes;            // outcome_counts_text() of the run
+
+  // Headline gauges for tables.
+  std::uint64_t calls = 0;
+  std::uint64_t finals = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t give_ups = 0;
+  std::uint64_t hinted_retries = 0;
+  std::uint64_t upstream_forwards = 0;
+  std::uint64_t upstream_failovers = 0;
+  std::uint64_t degraded_serves = 0;
+  std::uint64_t breaker_opens = 0;
+
+  bool ok() const { return converged && monotone; }
+};
+
+/// Runs one cell.
+SoakCell run_soak_cell(std::uint64_t seed, const SoakMix& mix);
+
+struct SoakMatrixResult {
+  std::vector<SoakCell> cells;
+  bool all_converged = true;
+  bool all_monotone = true;
+  /// Every cell replayed bit-identically (always true when replay
+  /// verification was skipped).
+  bool replay_identical = true;
+  /// First violated property, for diagnostics.
+  std::string first_error;
+
+  bool ok() const {
+    return all_converged && all_monotone && replay_identical;
+  }
+};
+
+/// Runs seeds x mixes; with `verify_replay` every cell is run twice and the
+/// (trace, transitions, outcomes) triple must match exactly.
+SoakMatrixResult run_soak_matrix(const std::vector<std::uint64_t>& seeds,
+                                 const std::vector<SoakMix>& mixes,
+                                 bool verify_replay);
+
+}  // namespace rg::sipp

@@ -239,7 +239,11 @@ TEST(Overload, ShedsAboveWatermarkAndStaysUnderIt) {
   EXPECT_TRUE(result.converged());
   EXPECT_GT(result.shed, 0u);
   EXPECT_GT(sheds, 0u);
-  EXPECT_EQ(result.shed, sheds);
+  // Each terminal client-side shed saw at least one proxy-side 503; with
+  // Retry-After honored, hinted retries can be shed again, so the proxy
+  // counter is an upper bound rather than an equality.
+  EXPECT_GE(sheds, result.shed);
+  EXPECT_GT(result.hinted_retries, 0u);
   EXPECT_LE(peak, kWatermark);
   EXPECT_LE(tx_size_after, kWatermark);
   EXPECT_EQ(result.finals + result.shed, result.calls.size());

@@ -1,0 +1,502 @@
+// The upstream resilience layer: circuit-breaker state machine, failover
+// determinism, deadline budgets, graceful degradation (degraded serves and
+// 503 + Retry-After shedding), Max-Forwards enforcement, and the client's
+// Retry-After handling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/helgrind.hpp"
+#include "rt/chaos.hpp"
+#include "rt/sim.hpp"
+#include "sip/faults.hpp"
+#include "sip/proxy.hpp"
+#include "sip/upstream.hpp"
+#include "sipp/client.hpp"
+#include "sipp/experiment.hpp"
+#include "sipp/scenario.hpp"
+#include "sipp/soak.hpp"
+#include "sipp/testcases.hpp"
+
+namespace rg {
+namespace {
+
+using sip::BreakerConfig;
+using sip::BreakerState;
+using sip::BreakerTransition;
+using sip::CircuitBreaker;
+using sip::FaultConfig;
+using sip::ForwardOutcome;
+using sip::ForwardResult;
+using sip::Proxy;
+using sip::ProxyConfig;
+using sip::ProxyStats;
+using sip::UpstreamConfig;
+using sip::UpstreamPool;
+using sipp::ChaosClient;
+using sipp::ChaosRunResult;
+using sipp::ExperimentConfig;
+using sipp::ExperimentResult;
+using sipp::MessageFactory;
+using sipp::Scenario;
+
+// --- circuit breaker state machine -----------------------------------------
+
+BreakerConfig small_breaker() {
+  BreakerConfig cfg;
+  cfg.failure_threshold = 3;
+  cfg.open_cooldown_ticks = 100;
+  cfg.max_cooldown_ticks = 400;
+  return cfg;
+}
+
+TEST(Breaker, OpensAfterConsecutiveFailureThreshold) {
+  CircuitBreaker breaker(small_breaker());
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_EQ(breaker.admit(0), CircuitBreaker::Admit::Allow);
+  breaker.on_failure(1);
+  breaker.on_failure(2);
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  // A success resets the consecutive-failure streak...
+  breaker.on_success(3);
+  breaker.on_failure(4);
+  breaker.on_failure(5);
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  // ...so only the third *consecutive* failure trips it.
+  breaker.on_failure(6);
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_EQ(breaker.cooldown(), 100u);
+  EXPECT_EQ(breaker.open_until(), 106u);
+  EXPECT_EQ(breaker.admit(7), CircuitBreaker::Admit::Reject);
+}
+
+TEST(Breaker, CooldownExpiryAdmitsExactlyOneProbe) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 3; ++i) breaker.on_failure(10);
+  ASSERT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_EQ(breaker.admit(109), CircuitBreaker::Admit::Reject);
+  // Cooldown over: the first caller carries the single probe, every other
+  // caller keeps being rejected until the probe settles.
+  EXPECT_EQ(breaker.admit(110), CircuitBreaker::Admit::Probe);
+  EXPECT_EQ(breaker.state(), BreakerState::HalfOpen);
+  EXPECT_EQ(breaker.admit(111), CircuitBreaker::Admit::Reject);
+}
+
+TEST(Breaker, ProbeSuccessClosesAndResetsTheStreak) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 3; ++i) breaker.on_failure(0);
+  ASSERT_EQ(breaker.admit(100), CircuitBreaker::Admit::Probe);
+  breaker.on_success(101);
+  EXPECT_EQ(breaker.state(), BreakerState::Closed);
+  EXPECT_EQ(breaker.reopen_streak(), 0u);
+  EXPECT_EQ(breaker.consecutive_failures(), 0u);
+  // The next open starts again from the base cooldown.
+  for (int i = 0; i < 3; ++i) breaker.on_failure(200);
+  EXPECT_EQ(breaker.state(), BreakerState::Open);
+  EXPECT_EQ(breaker.cooldown(), 100u);
+}
+
+TEST(Breaker, ProbeFailureReopensWithDoubledCappedCooldown) {
+  CircuitBreaker breaker(small_breaker());
+  for (int i = 0; i < 3; ++i) breaker.on_failure(0);
+  EXPECT_EQ(breaker.cooldown(), 100u);
+
+  std::uint64_t now = 0;
+  const std::uint64_t expected[] = {200, 400, 400, 400};  // capped at 400
+  for (std::uint64_t cooldown : expected) {
+    now = breaker.open_until();
+    ASSERT_EQ(breaker.admit(now), CircuitBreaker::Admit::Probe);
+    breaker.on_failure(now);
+    EXPECT_EQ(breaker.state(), BreakerState::Open);
+    EXPECT_EQ(breaker.cooldown(), cooldown);
+  }
+}
+
+struct TransitionLog {
+  std::vector<std::pair<BreakerState, BreakerState>> edges;
+  static void on(void* ctx, BreakerState from, BreakerState to,
+                 std::uint64_t /*now*/, std::uint64_t /*cooldown*/) {
+    static_cast<TransitionLog*>(ctx)->edges.emplace_back(from, to);
+  }
+};
+
+TEST(Breaker, ListenerSeesEveryLegalEdge) {
+  TransitionLog log;
+  CircuitBreaker breaker(small_breaker());
+  breaker.set_listener(&TransitionLog::on, &log);
+  for (int i = 0; i < 3; ++i) breaker.on_failure(0);    // Closed -> Open
+  (void)breaker.admit(100);                             // Open -> HalfOpen
+  breaker.on_failure(100);                              // HalfOpen -> Open
+  (void)breaker.admit(300);                             // Open -> HalfOpen
+  breaker.on_success(300);                              // HalfOpen -> Closed
+  ASSERT_EQ(log.edges.size(), 5u);
+  using P = std::pair<BreakerState, BreakerState>;
+  EXPECT_EQ(log.edges[0], P(BreakerState::Closed, BreakerState::Open));
+  EXPECT_EQ(log.edges[1], P(BreakerState::Open, BreakerState::HalfOpen));
+  EXPECT_EQ(log.edges[2], P(BreakerState::HalfOpen, BreakerState::Open));
+  EXPECT_EQ(log.edges[3], P(BreakerState::Open, BreakerState::HalfOpen));
+  EXPECT_EQ(log.edges[4], P(BreakerState::HalfOpen, BreakerState::Closed));
+}
+
+// --- transition-log validation ---------------------------------------------
+
+TEST(TransitionLogValidation, RejectsIllegalEdgesAndTimeTravel) {
+  std::string error;
+  std::vector<BreakerTransition> log;
+  EXPECT_TRUE(sip::validate_transitions(log, &error));
+
+  // Legal single cycle.
+  log.push_back({10, 0, BreakerState::Closed, BreakerState::Open, 100});
+  log.push_back({110, 0, BreakerState::Open, BreakerState::HalfOpen, 0});
+  log.push_back({111, 0, BreakerState::HalfOpen, BreakerState::Closed, 0});
+  EXPECT_TRUE(sip::validate_transitions(log, &error)) << error;
+
+  // Illegal edge: a breaker cannot jump Closed -> HalfOpen.
+  auto bad = log;
+  bad.push_back({200, 0, BreakerState::Closed, BreakerState::HalfOpen, 0});
+  EXPECT_FALSE(sip::validate_transitions(bad, &error));
+
+  // Virtual time running backwards.
+  bad = log;
+  bad.push_back({5, 1, BreakerState::Closed, BreakerState::Open, 100});
+  EXPECT_FALSE(sip::validate_transitions(bad, &error));
+
+  // Reopen cooldown shrinking within a streak.
+  bad = log;
+  bad.push_back({200, 1, BreakerState::Closed, BreakerState::Open, 100});
+  bad.push_back({300, 1, BreakerState::Open, BreakerState::HalfOpen, 0});
+  bad.push_back({300, 1, BreakerState::HalfOpen, BreakerState::Open, 50});
+  EXPECT_FALSE(sip::validate_transitions(bad, &error));
+}
+
+// --- request identity --------------------------------------------------------
+
+TEST(RequestKey, StableAndBranchSensitive) {
+  EXPECT_EQ(sip::request_key("z9hG4bK-abc"), sip::request_key("z9hG4bK-abc"));
+  EXPECT_NE(sip::request_key("z9hG4bK-abc"), sip::request_key("z9hG4bK-abd"));
+  EXPECT_NE(sip::request_key(""), sip::request_key("x"));
+}
+
+// --- pool forwarding ---------------------------------------------------------
+
+UpstreamConfig small_pool(std::size_t targets = 3) {
+  UpstreamConfig cfg;
+  cfg.targets = targets;
+  cfg.seed = 7;
+  cfg.per_try_timeout_ticks = 20;
+  cfg.breaker.failure_threshold = 2;
+  cfg.breaker.open_cooldown_ticks = 50;
+  cfg.breaker.max_cooldown_ticks = 200;
+  return cfg;
+}
+
+TEST(UpstreamPoolTest, HealthyPoolForwardsFirstTry) {
+  rt::Sim sim;
+  sim.run([&] {
+    ProxyStats stats(/*unprotected=*/false);
+    UpstreamPool pool(small_pool(), &stats);
+    pool.start();
+    const ForwardResult fwd = pool.forward(sip::request_key("b1"));
+    EXPECT_EQ(fwd.outcome, ForwardOutcome::Forwarded);
+    EXPECT_EQ(fwd.status, 200);
+    EXPECT_EQ(fwd.attempts, 1u);
+    EXPECT_FALSE(fwd.failover);
+    EXPECT_EQ(stats.upstream_forwards(), 1u);
+    EXPECT_EQ(stats.upstream_retries(), 0u);
+    EXPECT_TRUE(pool.transitions().empty());
+    pool.shutdown();
+  });
+}
+
+TEST(UpstreamPoolTest, DisabledPoolIsAPassThrough) {
+  ProxyStats stats(false);
+  UpstreamPool pool(UpstreamConfig{}, &stats);
+  pool.start();
+  EXPECT_FALSE(pool.enabled());
+  EXPECT_EQ(pool.size(), 0u);
+  EXPECT_EQ(pool.forward(1).outcome, ForwardOutcome::Disabled);
+  pool.shutdown();
+}
+
+TEST(UpstreamPoolTest, ForceOpenAllRejectsWithRetryAfterHint) {
+  rt::Sim sim;
+  sim.run([&] {
+    ProxyStats stats(false);
+    UpstreamPool pool(small_pool(), &stats);
+    pool.start();
+    pool.force_open_all(0);
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      EXPECT_EQ(pool.target(i)->breaker_state(), BreakerState::Open);
+    const ForwardResult fwd = pool.forward(sip::request_key("b2"));
+    EXPECT_EQ(fwd.outcome, ForwardOutcome::AllOpen);
+    EXPECT_GE(fwd.retry_after_s, 1u);
+    EXPECT_EQ(stats.upstream_forwards(), 0u);
+    EXPECT_GT(stats.breaker_opens(), 0u);
+    std::string error;
+    EXPECT_TRUE(sip::validate_transitions(pool.transitions(), &error))
+        << error;
+    pool.shutdown();
+  });
+}
+
+TEST(UpstreamPoolTest, PersistentFaultsTripBreakersThenRecoveryCloses) {
+  rt::SimConfig sim_cfg;
+  sim_cfg.sched.seed = 5;
+  rt::Sim sim(sim_cfg);
+  sim.run([&] {
+    ProxyStats stats(false);
+    UpstreamConfig cfg = small_pool();
+    cfg.request_budget_ticks = 200;
+    UpstreamPool pool(cfg, &stats);
+    pool.start();
+
+    rt::ChaosConfig chaos_cfg;
+    chaos_cfg.seed = 5;
+    chaos_cfg.upstream_error_permille = 1000;  // every attempt answers 500
+    rt::ChaosEngine chaos(chaos_cfg);
+    pool.set_chaos(&chaos);
+
+    for (std::uint64_t r = 0; r < 12; ++r) {
+      const ForwardResult fwd = pool.forward(1000 + r);
+      EXPECT_NE(fwd.outcome, ForwardOutcome::Forwarded);
+    }
+    EXPECT_GT(stats.breaker_opens(), 0u);
+    EXPECT_GT(stats.upstream_retries(), 0u);
+    EXPECT_GT(chaos.upstream_faults(), 0u);
+
+    // Weather clears: cooldowns expire, probes succeed, the pool heals.
+    pool.set_chaos(nullptr);
+    rt::sleep_ticks(500);
+    ForwardResult fwd{};
+    for (std::uint64_t r = 0; r < 8; ++r) {
+      fwd = pool.forward(2000 + r);
+      if (fwd.outcome == ForwardOutcome::Forwarded) break;
+      rt::sleep_ticks(100);
+    }
+    EXPECT_EQ(fwd.outcome, ForwardOutcome::Forwarded);
+    std::string error;
+    EXPECT_TRUE(sip::validate_transitions(pool.transitions(), &error))
+        << error;
+    pool.shutdown();
+  });
+}
+
+TEST(UpstreamPoolTest, SameSeedsReplayIdenticalBreakerHistory) {
+  auto run_once = [] {
+    rt::SimConfig sim_cfg;
+    sim_cfg.sched.seed = 9;
+    rt::Sim sim(sim_cfg);
+    std::string transitions, trace;
+    std::uint64_t forwards = 0;
+    sim.run([&] {
+      ProxyStats stats(false);
+      UpstreamConfig cfg = small_pool();
+      cfg.request_budget_ticks = 150;
+      UpstreamPool pool(cfg, &stats);
+      pool.start();
+      rt::ChaosConfig chaos_cfg;
+      chaos_cfg.seed = 9;
+      chaos_cfg.upstream_drop_permille = 300;
+      chaos_cfg.upstream_error_permille = 200;
+      rt::ChaosEngine chaos(chaos_cfg);
+      pool.set_chaos(&chaos);
+      for (std::uint64_t r = 0; r < 24; ++r) (void)pool.forward(r * 17 + 3);
+      forwards = stats.upstream_forwards();
+      transitions = pool.transitions_text();
+      trace = chaos.trace_text();
+      pool.shutdown();
+    });
+    return std::tuple(transitions, trace, forwards);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_FALSE(std::get<1>(a).empty());
+  EXPECT_EQ(a, b);
+}
+
+// --- proxy integration -------------------------------------------------------
+
+ProxyConfig resilient_proxy(std::size_t targets = 2) {
+  ProxyConfig cfg;
+  cfg.faults = FaultConfig::none();
+  cfg.upstream = small_pool(targets);
+  // Outage tests force the breakers open and need them to *stay* open
+  // while virtual time advances through the request path.
+  cfg.upstream.breaker.open_cooldown_ticks = 100000;
+  cfg.upstream.breaker.max_cooldown_ticks = 100000;
+  return cfg;
+}
+
+TEST(ProxyResilience, OptionsShedsWith503AndRetryAfterWhenAllOpen) {
+  rt::Sim sim;
+  sim.run([&] {
+    Proxy proxy(resilient_proxy());
+    proxy.start();
+    proxy.upstreams().force_open_all(proxy.now());
+    MessageFactory mf;
+    const std::string out = proxy.handle_wire(mf.options("alice", "ro1", 1));
+    EXPECT_EQ(out.compare(0, 12, "SIP/2.0 503 "), 0) << out;
+    EXPECT_NE(out.find("\r\nRetry-After: "), std::string::npos) << out;
+    EXPECT_EQ(proxy.stats().upstream_sheds(), 1u);
+    proxy.shutdown();
+  });
+}
+
+TEST(ProxyResilience, InviteDegradesToRegistrarServeWhenAllOpen) {
+  rt::Sim sim;
+  sim.run([&] {
+    Proxy proxy(resilient_proxy());
+    proxy.start();
+    MessageFactory mf;
+    (void)proxy.handle_wire(mf.register_request("bob", "rr1", 1));
+    proxy.upstreams().force_open_all(proxy.now());
+    const std::string out =
+        proxy.handle_wire(mf.invite("alice", "bob", "rd1", 1));
+    // Upstream is gone, but the registrar knows bob: the call is answered
+    // from local data and marked degraded rather than shed.
+    EXPECT_EQ(out.compare(0, 12, "SIP/2.0 200 "), 0) << out;
+    EXPECT_NE(out.find("degraded"), std::string::npos) << out;
+    EXPECT_EQ(proxy.stats().degraded_serves(), 1u);
+    EXPECT_EQ(proxy.stats().upstream_sheds(), 0u);
+    proxy.shutdown();
+  });
+}
+
+TEST(ProxyResilience, HealthyUpstreamCountsForwardsNotDegrades) {
+  rt::Sim sim;
+  sim.run([&] {
+    Proxy proxy(resilient_proxy());
+    proxy.start();
+    MessageFactory mf;
+    (void)proxy.handle_wire(mf.register_request("bob", "rh1", 1));
+    const std::string out =
+        proxy.handle_wire(mf.invite("alice", "bob", "rh2", 1));
+    EXPECT_EQ(out.compare(0, 12, "SIP/2.0 200 "), 0) << out;
+    EXPECT_EQ(out.find("degraded"), std::string::npos) << out;
+    EXPECT_GT(proxy.stats().upstream_forwards(), 0u);
+    EXPECT_EQ(proxy.stats().degraded_serves(), 0u);
+    proxy.shutdown();
+  });
+}
+
+// --- Max-Forwards enforcement (satellite) -----------------------------------
+
+TEST(MaxForwards, ZeroHopBudgetEarns483) {
+  rt::Sim sim;
+  sim.run([&] {
+    ProxyConfig cfg;
+    cfg.faults = FaultConfig::none();
+    Proxy proxy(cfg);
+    proxy.start();
+    MessageFactory mf;
+    (void)proxy.handle_wire(mf.register_request("bob", "mf0", 1));
+    std::string wire = mf.invite("alice", "bob", "mf1", 1);
+    const std::size_t at = wire.find("Max-Forwards: 70");
+    ASSERT_NE(at, std::string::npos);
+    wire.replace(at, std::string("Max-Forwards: 70").size(),
+                 "Max-Forwards: 0");
+    const std::string out = proxy.handle_wire(wire);
+    EXPECT_EQ(out.compare(0, 12, "SIP/2.0 483 "), 0) << out;
+    EXPECT_EQ(proxy.stats().too_many_hops(), 1u);
+    // The registered callee was never consulted: the hop budget is checked
+    // before the registrar lookup.
+    const std::string ok = proxy.handle_wire(mf.invite("alice", "bob",
+                                                       "mf2", 1));
+    EXPECT_EQ(ok.compare(0, 12, "SIP/2.0 200 "), 0) << ok;
+    EXPECT_EQ(proxy.stats().too_many_hops(), 1u);
+    proxy.shutdown();
+  });
+}
+
+// --- client Retry-After handling (satellite) --------------------------------
+
+TEST(RetryAfterHint, HintedRetrySucceedsAfterBreakerRecovery) {
+  rt::SimConfig sim_cfg;
+  sim_cfg.sched.seed = 31;
+  rt::Sim sim(sim_cfg);
+  ChaosRunResult result;
+  rt::ChaosEngine chaos(rt::ChaosConfig::none(31));
+  sim.run([&] {
+    ProxyConfig cfg = resilient_proxy();
+    // Medium cooldown: long enough that the first sends still meet open
+    // breakers, short enough that the advertised Retry-After lands well
+    // inside the client's timer-B budget — a hinted retry meets the probe
+    // window and heals the pool.
+    cfg.upstream.breaker.open_cooldown_ticks = 400;
+    cfg.upstream.breaker.max_cooldown_ticks = 400;
+    Proxy proxy(cfg);
+    proxy.start();
+    proxy.upstreams().force_open_all(proxy.now());
+    MessageFactory mf;
+    std::vector<std::string> wires;
+    for (int i = 0; i < 4; ++i)
+      wires.push_back(mf.options("u" + std::to_string(i),
+                                 "ra" + std::to_string(i), 1));
+    ChaosClient client(chaos, proxy, {}, 2);
+    result = client.run_phase(wires);
+    proxy.shutdown();
+  });
+  EXPECT_TRUE(result.converged());
+  // Every first send met open breakers and was shed with a hint; honoring
+  // it outlived the cooldown, the probe healed the pool, and the retries
+  // came back 200 — no terminal sheds, no give-ups.
+  EXPECT_GT(result.hinted_retries, 0u);
+  EXPECT_EQ(result.finals, result.calls.size());
+  EXPECT_EQ(result.shed, 0u);
+  EXPECT_EQ(result.give_ups, 0u);
+}
+
+TEST(RetryAfterHint, DisabledHintKeeps503Terminal) {
+  rt::SimConfig sim_cfg;
+  sim_cfg.sched.seed = 31;
+  rt::Sim sim(sim_cfg);
+  ChaosRunResult result;
+  rt::ChaosEngine chaos(rt::ChaosConfig::none(31));
+  sim.run([&] {
+    Proxy proxy(resilient_proxy());
+    proxy.start();
+    proxy.upstreams().force_open_all(proxy.now());
+    MessageFactory mf;
+    std::vector<std::string> wires = {mf.options("alice", "nr1", 1)};
+    sipp::RetransmitTimers timers;
+    timers.honor_retry_after = false;
+    ChaosClient client(chaos, proxy, timers, 1);
+    result = client.run_phase(wires);
+    proxy.shutdown();
+  });
+  EXPECT_TRUE(result.converged());
+  EXPECT_EQ(result.shed, 1u);
+  EXPECT_EQ(result.hinted_retries, 0u);
+}
+
+// --- end-to-end failover determinism ----------------------------------------
+
+TEST(ResilienceDeterminism, SameSeedReplaysTraceBreakersAndOutcomes) {
+  const sipp::SoakMix mix = sipp::default_soak_mixes()[1];  // upstream-heavy
+  const Scenario scenario = sipp::build_testcase(3, 13);
+  const ExperimentConfig cfg = sipp::soak_experiment(13, mix);
+  const ExperimentResult a = sipp::run_scenario(scenario, cfg);
+  const ExperimentResult b = sipp::run_scenario(scenario, cfg);
+  EXPECT_FALSE(a.injection_trace.empty());
+  EXPECT_EQ(a.injection_trace, b.injection_trace);
+  EXPECT_EQ(a.breaker_transitions, b.breaker_transitions);
+  EXPECT_EQ(sipp::outcome_counts_text(a.chaos),
+            sipp::outcome_counts_text(b.chaos));
+  EXPECT_EQ(a.upstream_forwards, b.upstream_forwards);
+  EXPECT_EQ(a.upstream_failovers, b.upstream_failovers);
+  EXPECT_TRUE(a.transitions_monotone) << a.transitions_error;
+}
+
+TEST(ResilienceDeterminism, DifferentSeedDivergesSomewhere) {
+  const sipp::SoakMix mix = sipp::default_soak_mixes()[1];
+  const Scenario scenario = sipp::build_testcase(3, 13);
+  const ExperimentResult a =
+      sipp::run_scenario(scenario, sipp::soak_experiment(13, mix));
+  const ExperimentResult b =
+      sipp::run_scenario(scenario, sipp::soak_experiment(14, mix));
+  EXPECT_NE(a.injection_trace, b.injection_trace);
+}
+
+}  // namespace
+}  // namespace rg

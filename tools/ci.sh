@@ -1,21 +1,25 @@
 #!/usr/bin/env bash
 # Tier-1 CI: regular build + full test suite, then an ASan+UBSan build.
 #
-# Usage: tools/ci.sh [--fast] [--bench]
+# Usage: tools/ci.sh [--fast] [--bench] [--soak]
 #   --fast   skip the chaos-labelled tests in the sanitizer pass (they run
 #            the full fault-injection scenarios and dominate its runtime)
 #   --bench  additionally run the bench-labelled smoke tests against the
 #            (optimized) default build and check BENCH_*.json output
+#   --soak   additionally run the replayable chaos soak matrix (seeds x
+#            fault mixes, every cell replay-verified) on the default build
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 FAST=0
 BENCH=0
+SOAK=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --bench) BENCH=1 ;;
+    --soak) SOAK=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -28,9 +32,15 @@ ctest --preset default -j
 if [[ "$BENCH" == 1 ]]; then
   echo "== bench: smoke runs of the perf-critical binaries =="
   ctest --preset bench
-  for f in build/bench/BENCH_hotpath.json build/bench/BENCH_slowdown.json; do
+  for f in build/bench/BENCH_hotpath.json build/bench/BENCH_slowdown.json \
+           build/bench/BENCH_resilience.json; do
     [[ -s "$f" ]] || { echo "missing bench result: $f" >&2; exit 1; }
   done
+fi
+
+if [[ "$SOAK" == 1 ]]; then
+  echo "== soak: replayable chaos matrix (seeds x fault mixes) =="
+  ctest --preset soak
 fi
 
 echo "== sanitize: ASan + UBSan build + ctest =="
