@@ -1,0 +1,191 @@
+// E14 — observability overhead and the recorder as equivalence oracle.
+//
+// The flight recorder's contract is "attach it and nothing changes": no
+// scheduling points, no detector-visible state, bounded per-event cost.
+// This bench prices that claim on the E6/T5 mixed workload (hwlc+dr):
+//
+//   baseline        recorder/metrics/profiler all off
+//   recorder        flight recorder attached (schedule, sync ops, allocs,
+//                   detector state changes all mirrored)
+//   rec+metrics     recorder + MetricsRegistry export
+//   full            recorder + metrics + hook profiler (informational: the
+//                   profiler brackets every tool dispatch in two cycle
+//                   stamps, a cost priced by Fig. 5, not by this budget)
+//
+// and fails (exit 1) if the recorder or rec+metrics run is more than 5%
+// slower than the baseline, if observability changed any reported warning,
+// or if two same-seed recorder runs are not bit-identical (stream hash and
+// Chrome trace JSON).
+// Timing is best-of-rounds, interleaved so machine noise hits both sides.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
+#include "sipp/experiment.hpp"
+#include "sipp/testcases.hpp"
+#include "support/bench_json.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double run_once(const rg::sipp::Scenario& scenario,
+                const rg::sipp::ExperimentConfig& cfg,
+                rg::sipp::ExperimentResult& out) {
+  const auto start = Clock::now();
+  out = rg::sipp::run_scenario(scenario, cfg);
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool same_reports(const rg::sipp::ExperimentResult& a,
+                  const rg::sipp::ExperimentResult& b) {
+  return a.reported_locations == b.reported_locations &&
+         a.location_keys == b.location_keys && a.sim.steps == b.sim.steps &&
+         a.total_warnings == b.total_warnings &&
+         a.responses == b.responses;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rg;
+  bool smoke = false;
+  std::uint64_t seed = 11;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0)
+      smoke = true;
+    else
+      seed = std::strtoull(argv[i], nullptr, 10);
+  }
+  const int rounds = smoke ? 10 : 15;
+
+  sipp::ExperimentConfig base;
+  base.seed = seed;
+  base.detector = core::HelgrindConfig::hwlc_dr();
+  const sipp::Scenario scenario = sipp::build_testcase(5, seed);
+
+  std::printf("Observability overhead — %s, seed %llu%s\n\n",
+              scenario.name.c_str(), static_cast<unsigned long long>(seed),
+              smoke ? " (smoke)" : "");
+
+  // Interleave the variants round by round: best-of under shared noise.
+  double t_base = 1e300, t_rec = 1e300, t_met = 1e300, t_full = 1e300;
+  sipp::ExperimentResult r_base, r_rec, r_met, r_full;
+  std::uint64_t first_hash = 0;
+  std::string first_trace;
+  bool deterministic = true;
+  for (int i = 0; i < rounds; ++i) {
+    t_base = std::min(t_base, run_once(scenario, base, r_base));
+
+    obs::FlightRecorder recorder;
+    sipp::ExperimentConfig cfg = base;
+    cfg.recorder = &recorder;
+    t_rec = std::min(t_rec, run_once(scenario, cfg, r_rec));
+    if (i == 0) {
+      first_hash = r_rec.recorder_hash;
+      first_trace = recorder.chrome_trace_json();
+    } else if (r_rec.recorder_hash != first_hash ||
+               recorder.chrome_trace_json() != first_trace) {
+      deterministic = false;
+    }
+
+    obs::FlightRecorder recorder2;
+    obs::MetricsRegistry metrics;
+    cfg.recorder = &recorder2;
+    cfg.metrics = &metrics;
+    t_met = std::min(t_met, run_once(scenario, cfg, r_met));
+
+    obs::FlightRecorder recorder3;
+    obs::MetricsRegistry metrics2;
+    obs::HookProfiler profiler;
+    cfg.recorder = &recorder3;
+    cfg.metrics = &metrics2;
+    cfg.profiler = &profiler;
+    t_full = std::min(t_full, run_once(scenario, cfg, r_full));
+  }
+
+  const double rec_overhead = t_rec / t_base - 1.0;
+  const double met_overhead = t_met / t_base - 1.0;
+  const double full_overhead = t_full / t_base - 1.0;
+  const bool reports_equal = same_reports(r_base, r_rec) &&
+                             same_reports(r_base, r_met) &&
+                             same_reports(r_base, r_full);
+
+  support::Table table("time per run [s], best of " +
+                       std::to_string(rounds));
+  table.header({"variant", "time", "overhead", "events"});
+  char t_s[32], o_s[32];
+  std::snprintf(t_s, sizeof t_s, "%.4f", t_base);
+  table.row("baseline (obs off)", t_s, "", "");
+  std::snprintf(t_s, sizeof t_s, "%.4f", t_rec);
+  std::snprintf(o_s, sizeof o_s, "%+.1f%%", 100.0 * rec_overhead);
+  table.row("flight recorder", t_s, o_s,
+            std::to_string(r_rec.recorder_events));
+  std::snprintf(t_s, sizeof t_s, "%.4f", t_met);
+  std::snprintf(o_s, sizeof o_s, "%+.1f%%", 100.0 * met_overhead);
+  table.row("recorder+metrics", t_s, o_s,
+            std::to_string(r_met.recorder_events));
+  std::snprintf(t_s, sizeof t_s, "%.4f", t_full);
+  std::snprintf(o_s, sizeof o_s, "%+.1f%%", 100.0 * full_overhead);
+  table.row("+ hook profiler (Fig. 5)", t_s, o_s,
+            std::to_string(r_full.recorder_events));
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("reports identical across variants: %s\n",
+              reports_equal ? "yes" : "NO");
+  std::printf("same-seed recorder runs bit-identical (%d rounds): %s\n\n",
+              rounds, deterministic ? "yes" : "NO");
+
+  support::BenchJson json("observability");
+  json.add("seed", seed);
+  json.add("smoke", smoke ? "true" : "false");
+  json.add("workload", scenario.name);
+  json.add("rounds", rounds);
+  json.add("baseline_s", t_base);
+  json.add("recorder_s", t_rec);
+  json.add("recorder_metrics_s", t_met);
+  json.add("full_s", t_full);
+  json.add("recorder_overhead", rec_overhead);
+  json.add("recorder_metrics_overhead", met_overhead);
+  json.add("full_overhead", full_overhead);
+  json.add("recorder_events", r_rec.recorder_events);
+  json.add("recorder_dropped", r_rec.recorder_dropped);
+  json.add("recorder_hash", first_hash);
+  json.add("reports_identical", reports_equal ? "true" : "false");
+  json.add("deterministic", deterministic ? "true" : "false");
+  json.write();
+
+  bool failed = false;
+  // The contract gate is 5% on the full run; the smoke gate gets 2x
+  // headroom because best-of-10 on a ~4ms workload still carries a few
+  // percent of timer noise.
+  const double budget = smoke ? 0.10 : 0.05;
+  if (rec_overhead > budget) {
+    std::printf("OVERHEAD VIOLATION: recorder run %.1f%% over the "
+                "recorder-off baseline (budget %.0f%%).\n",
+                100.0 * rec_overhead, 100.0 * budget);
+    failed = true;
+  }
+  if (met_overhead > budget) {
+    std::printf("OVERHEAD VIOLATION: recorder+metrics run %.1f%% over the "
+                "recorder-off baseline (budget %.0f%%).\n",
+                100.0 * met_overhead, 100.0 * budget);
+    failed = true;
+  }
+  if (!reports_equal) {
+    std::printf("EQUIVALENCE VIOLATION: attaching observability changed "
+                "the reported warnings.\n");
+    failed = true;
+  }
+  if (!deterministic) {
+    std::printf("DETERMINISM VIOLATION: same-seed recorder runs were not "
+                "bit-identical.\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -22,6 +22,7 @@ namespace rg::core {
 
 class DeadlockTool : public rt::Tool {
  public:
+  const char* name() const override { return "deadlock"; }
   DeadlockTool();
 
   ReportManager& reports() { return reports_; }

@@ -32,6 +32,7 @@ struct DjitConfig {
 
 class DjitTool : public rt::Tool {
  public:
+  const char* name() const override { return "djit"; }
   explicit DjitTool(const DjitConfig& config = {});
 
   ReportManager& reports() { return reports_; }

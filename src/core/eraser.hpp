@@ -40,6 +40,7 @@ struct EraserBasicConfig {
 
 class EraserBasicTool : public rt::Tool {
  public:
+  const char* name() const override { return "eraser"; }
   explicit EraserBasicTool(const EraserBasicConfig& config = {});
 
   ReportManager& reports() { return reports_; }

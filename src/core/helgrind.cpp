@@ -1,5 +1,6 @@
 #include "core/helgrind.hpp"
 
+#include "obs/recorder.hpp"
 #include "rt/runtime.hpp"
 #include "support/assert.hpp"
 
@@ -174,6 +175,17 @@ void HelgrindTool::on_access(const rt::MemoryAccess& access) {
                     [&](Cell& cell) { touch(cell, access); });
 }
 
+/// Mirrors a detector-state-changing access into the flight recorder: the
+/// accesses that narrowed a lockset or moved a cell towards
+/// SHARED-MODIFIED are exactly the ones --explain replays. Steady-state
+/// accesses that leave the shadow state untouched are implied by the
+/// recorded schedule and are not re-recorded. Called *before* warn() so
+/// the triggering access lands inside the report's provenance cursor.
+void HelgrindTool::trace_refinement(const rt::MemoryAccess& a) {
+  rt_->trace_addr(obs::EventKind::Access, a.thread, a.addr, a.size, a.site,
+                  rt::access_flags(a));
+}
+
 void HelgrindTool::touch(Cell& cell, const rt::MemoryAccess& a) {
   if (cell.reported) return;  // Eraser stops checking after the report.
   const shadow::SegmentId seg = segments_.current(a.thread);
@@ -201,6 +213,8 @@ void HelgrindTool::touch(Cell& cell, const rt::MemoryAccess& a) {
       // at this — the first shared — access.
       const MemState prev = cell.state;
       cell.lockset = effective_locks(a.thread, is_write, a.bus_locked);
+      rt_->trace_addr(obs::EventKind::DetectorShare, a.thread, a.addr,
+                      is_write ? 1 : 0, a.site);
       if (is_write) {
         cell.state = MemState::SharedModified;
         if (locksets_.empty(cell.lockset))
@@ -208,7 +222,7 @@ void HelgrindTool::touch(Cell& cell, const rt::MemoryAccess& a) {
       } else {
         cell.state = MemState::SharedRead;
       }
-      return;
+      return;  // the DetectorShare event above carries this access
     }
 
     case MemState::SharedRead: {
@@ -218,11 +232,14 @@ void HelgrindTool::touch(Cell& cell, const rt::MemoryAccess& a) {
       cell.lockset = locksets_.intersect(cell.lockset, held);
       if (is_write) {
         cell.state = MemState::SharedModified;
+        trace_refinement(a);
         if (locksets_.empty(cell.lockset))
           warn(cell, a, MemState::SharedRead, before);
+        return;
       }
       // Reads in shared-RO never warn (Fig. 1: reports only in
       // SHARED-MODIFIED).
+      if (cell.lockset != before) trace_refinement(a);
       return;
     }
 
@@ -231,6 +248,7 @@ void HelgrindTool::touch(Cell& cell, const rt::MemoryAccess& a) {
       const shadow::LocksetId held =
           effective_locks(a.thread, is_write, a.bus_locked);
       cell.lockset = locksets_.intersect(cell.lockset, held);
+      if (cell.lockset != before) trace_refinement(a);
       if (locksets_.empty(cell.lockset))
         warn(cell, a, MemState::SharedModified, before);
       return;
@@ -253,6 +271,11 @@ void HelgrindTool::warn(Cell& cell, const rt::MemoryAccess& a,
     r.prev_state += ", lockset " + locksets_.describe(prev_lockset, *rt_);
   }
   r.lockset_desc = "{}";
+  if (obs::FlightRecorder* fr = rt_->recorder(); fr != nullptr) {
+    rt_->trace_addr(obs::EventKind::DetectorWarning, a.thread, a.addr,
+                    reports_.distinct_locations(), a.site);
+    r.recorder_cursor = fr->cursor();
+  }
   reports_.add(std::move(r));
   cell.reported = true;
 }

@@ -93,6 +93,7 @@ struct HelgrindConfig {
 
 class HelgrindTool : public rt::Tool {
  public:
+  const char* name() const override { return "helgrind"; }
   explicit HelgrindTool(const HelgrindConfig& config = {});
 
   const HelgrindConfig& config() const { return config_; }
@@ -181,6 +182,7 @@ class HelgrindTool : public rt::Tool {
   }
 
   void touch(Cell& cell, const rt::MemoryAccess& access);
+  void trace_refinement(const rt::MemoryAccess& access);
   void warn(Cell& cell, const rt::MemoryAccess& access, MemState prev_state,
             shadow::LocksetId prev_lockset);
 

@@ -35,6 +35,7 @@ struct HybridConfig {
 
 class HybridTool : public rt::Tool {
  public:
+  const char* name() const override { return "hybrid"; }
   explicit HybridTool(const HybridConfig& config = {});
 
   /// Merged per-location verdicts; valid after on_finish.

@@ -40,6 +40,11 @@ struct Report {
   std::string extra;
   /// Dynamic occurrences folded into this location.
   std::uint32_t occurrences = 1;
+  /// Flight-recorder cursor at the moment the warning fired (0 when no
+  /// recorder was attached): events with seq < recorder_cursor led up to
+  /// it. rg-debug --explain uses it to dump the accesses and lock
+  /// operations that drove the lockset to empty.
+  std::uint64_t recorder_cursor = 0;
 
   /// Innermost report frame (the access site when the stack is empty).
   support::SiteId top_site() const {

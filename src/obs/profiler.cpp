@@ -1,0 +1,105 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+#include "support/table.hpp"
+
+namespace rg::obs {
+
+const char* to_string(Hook hook) {
+  switch (hook) {
+    case Hook::ThreadStart: return "thread_start";
+    case Hook::ThreadExit: return "thread_exit";
+    case Hook::ThreadJoin: return "thread_join";
+    case Hook::LockCreate: return "lock_create";
+    case Hook::LockDestroy: return "lock_destroy";
+    case Hook::PreLock: return "pre_lock";
+    case Hook::PostLock: return "post_lock";
+    case Hook::Unlock: return "unlock";
+    case Hook::CondSignal: return "cond_signal";
+    case Hook::CondWait: return "cond_wait";
+    case Hook::SemPost: return "sem_post";
+    case Hook::SemWait: return "sem_wait";
+    case Hook::QueuePut: return "queue_put";
+    case Hook::QueueGet: return "queue_get";
+    case Hook::Access: return "access";
+    case Hook::Alloc: return "alloc";
+    case Hook::Free: return "free";
+    case Hook::Destruct: return "destruct";
+    case Hook::Finish: return "finish";
+  }
+  return "?";
+}
+
+std::size_t HookProfiler::register_tool(std::string name) {
+  tools_.push_back(std::move(name));
+  cells_.resize(tools_.size() * kHookCount);
+  return tools_.size() - 1;
+}
+
+std::uint64_t HookProfiler::total_events(std::size_t tool) const {
+  std::uint64_t n = 0;
+  for (std::size_t h = 0; h < kHookCount; ++h)
+    n += cells_[tool * kHookCount + h].events;
+  return n;
+}
+
+std::uint64_t HookProfiler::total_cycles(std::size_t tool) const {
+  std::uint64_t n = 0;
+  for (std::size_t h = 0; h < kHookCount; ++h)
+    n += cells_[tool * kHookCount + h].cycles;
+  return n;
+}
+
+std::string HookProfiler::render() const {
+  support::Table table("per-tool hook profile");
+  table.header({"tool", "hook", "events", "cycles", "cycles/event"});
+  struct Row {
+    std::size_t tool;
+    Hook hook;
+    std::uint64_t events;
+    std::uint64_t cycles;
+  };
+  std::vector<Row> rows;
+  for (std::size_t t = 0; t < tools_.size(); ++t) {
+    for (std::size_t h = 0; h < kHookCount; ++h) {
+      const Cell& c = cells_[t * kHookCount + h];
+      if (c.events == 0) continue;
+      rows.push_back({t, static_cast<Hook>(h), c.events, c.cycles});
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
+    return x.cycles > y.cycles;
+  });
+  for (const Row& r : rows) {
+    char per[32];
+    std::snprintf(per, sizeof per, "%.1f",
+                  static_cast<double>(r.cycles) / static_cast<double>(r.events));
+    table.add_row({tools_[r.tool], to_string(r.hook), std::to_string(r.events),
+                   std::to_string(r.cycles), per});
+  }
+  for (std::size_t t = 0; t < tools_.size(); ++t) {
+    table.add_row({tools_[t], "TOTAL", std::to_string(total_events(t)),
+                   std::to_string(total_cycles(t)), ""});
+  }
+  return table.render();
+}
+
+void HookProfiler::export_to(MetricsRegistry& registry) const {
+  for (std::size_t t = 0; t < tools_.size(); ++t) {
+    const std::string base = "profiler." + tools_[t];
+    for (std::size_t h = 0; h < kHookCount; ++h) {
+      const Cell& c = cells_[t * kHookCount + h];
+      if (c.events == 0) continue;
+      const std::string hook = to_string(static_cast<Hook>(h));
+      registry.counter(base + "." + hook + ".events").set(c.events);
+      registry.counter(base + "." + hook + ".cycles").set(c.cycles);
+    }
+    registry.counter(base + ".total.events").set(total_events(t));
+    registry.counter(base + ".total.cycles").set(total_cycles(t));
+  }
+}
+
+}  // namespace rg::obs

@@ -1,0 +1,104 @@
+// Per-tool event profiler — the runtime Fig. 5.
+//
+// The paper attributes the detector's slowdown to its instrumentation
+// phases; this profiler produces the same attribution live. The Runtime
+// wraps every tool-hook dispatch in a cycle stamp, so after a run the
+// profiler holds, per attached tool and per hook, the number of events
+// delivered and the cycles spent inside the tool's handler. Rendered as a
+// table (tools x hooks) or exported into a MetricsRegistry.
+//
+// Cycle counts use the TSC on x86-64 (a steady-clock fallback elsewhere);
+// they are *measurements*, not part of the deterministic trace — the
+// flight-recorder hash never sees them.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rg::obs {
+
+class MetricsRegistry;
+
+/// The Tool hook vocabulary (mirrors rt::Tool's virtual interface).
+enum class Hook : std::uint8_t {
+  ThreadStart,
+  ThreadExit,
+  ThreadJoin,
+  LockCreate,
+  LockDestroy,
+  PreLock,
+  PostLock,
+  Unlock,
+  CondSignal,
+  CondWait,
+  SemPost,
+  SemWait,
+  QueuePut,
+  QueueGet,
+  Access,
+  Alloc,
+  Free,
+  Destruct,
+  Finish,
+};
+constexpr std::size_t kHookCount = static_cast<std::size_t>(Hook::Finish) + 1;
+
+const char* to_string(Hook hook);
+
+/// Cheap cycle stamp for the dispatch wrapper.
+inline std::uint64_t cycle_now() {
+#if defined(__x86_64__) || defined(_M_X64)
+  std::uint32_t lo, hi;
+  asm volatile("rdtsc" : "=a"(lo), "=d"(hi));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+class HookProfiler {
+ public:
+  /// Registers a tool row; returns its index. The Runtime registers tools
+  /// in attach order, so indices match its tool list.
+  std::size_t register_tool(std::string name);
+
+  /// Accounts one delivered event and the cycles its handler consumed.
+  void add(std::size_t tool, Hook hook, std::uint64_t cycles) {
+    Cell& c = cells_[tool * kHookCount + static_cast<std::size_t>(hook)];
+    ++c.events;
+    c.cycles += cycles;
+  }
+
+  std::size_t tool_count() const { return tools_.size(); }
+  const std::string& tool_name(std::size_t tool) const { return tools_[tool]; }
+  std::uint64_t events(std::size_t tool, Hook hook) const {
+    return cells_[tool * kHookCount + static_cast<std::size_t>(hook)].events;
+  }
+  std::uint64_t cycles(std::size_t tool, Hook hook) const {
+    return cells_[tool * kHookCount + static_cast<std::size_t>(hook)].cycles;
+  }
+  std::uint64_t total_events(std::size_t tool) const;
+  std::uint64_t total_cycles(std::size_t tool) const;
+
+  /// Fig. 5-style table: one row per (tool, hook) with events, cycles and
+  /// cycles/event, hooks that saw no events omitted, ordered by cycles.
+  std::string render() const;
+
+  /// Publishes `profiler.<tool>.<hook>.events/cycles` counters (plus
+  /// per-tool totals) into the registry.
+  void export_to(MetricsRegistry& registry) const;
+
+ private:
+  struct Cell {
+    std::uint64_t events = 0;
+    std::uint64_t cycles = 0;
+  };
+
+  std::vector<std::string> tools_;
+  std::vector<Cell> cells_;  // tools_ x kHookCount, row-major
+};
+
+}  // namespace rg::obs

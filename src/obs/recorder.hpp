@@ -1,0 +1,311 @@
+// The flight recorder — one observability spine for the whole stack.
+//
+// A fixed-capacity ring buffer of virtual-time-stamped binary events:
+// scheduler switches, lock operations, memory accesses, chaos injections,
+// circuit-breaker transitions, detector state changes and SIP transaction
+// milestones all land in the same stream, in the order the (deterministic)
+// scheduler produced them. Three contracts make it more than a debug aid:
+//
+//  * Determinism. Timestamps are scheduler virtual time, identities are
+//    dense ids or interned symbols, and raw heap addresses are normalised
+//    to first-appearance dense ids before they reach any output — so two
+//    runs with the same seed produce byte-identical Chrome traces and an
+//    identical stream hash. The hash covers *every* event ever recorded
+//    (not just the survivors of ring wraparound), which makes the recorder
+//    an equivalence oracle: equal hashes == the two executions raised the
+//    same events in the same order.
+//
+//  * Bounded cost. record() is a seq bump, one slot store and a few
+//    multiply-xor rounds for the stream hash; the ring never allocates
+//    after construction (the address-normalisation table grows by plain
+//    malloc, invisible to the detectors). No locks, no scheduling points:
+//    attaching the recorder cannot perturb a schedule.
+//
+//  * Provenance. Every filed warning captures the recorder cursor at the
+//    moment it fired; explain() walks backwards from a cursor and returns
+//    the accesses on the racing address plus the lock operations of the
+//    threads involved — the events that drove the lockset to ∅.
+//
+// The exporter emits Chrome trace-event JSON (Perfetto-loadable).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rt/ids.hpp"
+#include "support/site.hpp"
+
+namespace rg::obs {
+
+enum class EventKind : std::uint8_t {
+  // Scheduler / thread lifecycle.
+  SchedSwitch,  // a = previous thread; tid = incoming thread
+  ThreadStart,  // a = parent thread
+  ThreadExit,
+  ThreadJoin,   // a = joined thread
+  // Locks (a = lock id; flags = LockMode for the lock ops).
+  LockCreate,   // b = is_rw
+  LockDestroy,
+  PreLock,
+  PostLock,
+  Unlock,
+  // Condvars / semaphores / message queues (a = sync id, b = token).
+  CondSignal,
+  CondWait,
+  SemPost,
+  SemWait,
+  QueuePut,
+  QueueGet,
+  // Memory (a = address [normalised on export], b = size).
+  Access,       // a detector-state-changing access (lockset refinement /
+                // shared transition); steady-state accesses are implied by
+                // the recorded schedule. flags = kAccessWrite | kAccessBusLocked
+  Alloc,
+  Free,
+  Destruct,     // the VALGRIND_HG_DESTRUCT annotation
+  // Robustness tier.
+  ChaosInject,        // a = message/request id, b = detail; flags = FaultKind
+  BreakerTransition,  // a = target, b = pack_breaker(from, to, cooldown)
+  TxnState,           // a = interned branch symbol, b = new TxState
+  // Detector milestones.
+  DetectorShare,      // a = address, b = new shadow state (first share only)
+  DetectorWarning,    // a = address, b = distinct locations so far
+  Custom,
+};
+constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::Custom) + 1;
+
+const char* to_string(EventKind kind);
+
+/// Event::flags bits for EventKind::Access.
+constexpr std::uint8_t kAccessWrite = 0x1;
+constexpr std::uint8_t kAccessBusLocked = 0x2;
+
+/// Packs a breaker transition into Event::b (states are 4-bit enums, the
+/// cooldown dominates the low bits).
+constexpr std::uint64_t pack_breaker(std::uint8_t from, std::uint8_t to,
+                                     std::uint64_t cooldown) {
+  return (static_cast<std::uint64_t>(from) << 60) |
+         (static_cast<std::uint64_t>(to) << 56) |
+         (cooldown & 0x00FF'FFFF'FFFF'FFFFull);
+}
+
+/// One recorded event. POD, 48 bytes; `norm` is the first-appearance dense
+/// id of `a` for address-bearing kinds (kNoNorm otherwise) — the value the
+/// hash and the exporter use instead of the raw, ASLR-dependent address.
+struct Event {
+  std::uint64_t seq = 0;
+  std::uint64_t vtime = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  support::SiteId site = support::kUnknownSite;
+  std::uint32_t norm = 0;
+  rt::ThreadId tid = rt::kNoThread;
+  EventKind kind = EventKind::Custom;
+  std::uint8_t flags = 0;
+};
+
+constexpr std::uint32_t kNoNorm = 0xFFFF'FFFFu;
+
+struct RecorderConfig {
+  /// Ring capacity in events; rounded up to a power of two. Wraparound
+  /// overwrites the oldest events (and counts them as dropped) — a flight
+  /// recorder keeps the *last* N events, like its aviation namesake.
+  std::size_t capacity = 1u << 16;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(const RecorderConfig& config = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Virtual-time source (the scheduler's tick counter). Unset == native
+  /// mode; record_now() stamps 0 then.
+  void set_clock(const std::atomic<std::uint64_t>* vtime) { clock_ = vtime; }
+  std::uint64_t now() const {
+    return clock_ != nullptr ? clock_->load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Appends one event. Single-producer (the Sim carrier thread, or one
+  /// native thread); readers only run once the recording has stopped.
+  ///
+  /// `ident` (address-bearing kinds only): a caller-supplied stable
+  /// identity for `a` — e.g. the runtime's (allocation seq, offset) pair —
+  /// used *instead of* the raw address for normalisation. Heap addresses
+  /// alone are not replay-stable: the allocator may reuse a freed address
+  /// in one run and not in the other, which changes the first-appearance
+  /// pattern even though the executions are equivalent. 0 = no identity;
+  /// normalise the raw address.
+  void record(EventKind kind, std::uint64_t vtime, rt::ThreadId tid,
+              std::uint64_t a, std::uint64_t b,
+              support::SiteId site = support::kUnknownSite,
+              std::uint8_t flags = 0, std::uint64_t ident = 0);
+              // (defined inline below the class: it runs on every traced
+              // event, so it must inline into the runtime's hot paths)
+
+  /// record() stamped with the clock's current virtual time.
+  void record_now(EventKind kind, rt::ThreadId tid, std::uint64_t a,
+                  std::uint64_t b,
+                  support::SiteId site = support::kUnknownSite,
+                  std::uint8_t flags = 0, std::uint64_t ident = 0) {
+    record(kind, now(), tid, a, b, site, flags, ident);
+  }
+
+  // --- stream accounting ---------------------------------------------------
+  /// Sequence number the *next* event will get; a warning's provenance
+  /// cursor (events with seq < cursor lead up to it).
+  std::uint64_t cursor() const { return next_seq_; }
+  /// Total events ever recorded (== cursor()).
+  std::uint64_t recorded() const { return cursor(); }
+  /// Events lost to ring wraparound (recorded() - surviving).
+  std::uint64_t dropped() const {
+    const std::uint64_t n = recorded();
+    return n > capacity_ ? n - capacity_ : 0;
+  }
+  std::size_t capacity() const { return capacity_; }
+  /// Stream hash over every event ever recorded (address-normalised).
+  /// Deterministic per seed; equal hashes == equivalent executions.
+  std::uint64_t hash() const { return hash_; }
+
+  // --- name side-tables (exporter labels; not part of the hashed stream) ---
+  void note_thread_name(rt::ThreadId tid, std::string name);
+  void note_lock_name(std::uint64_t lock, std::string name);
+  const std::string* thread_name(rt::ThreadId tid) const;
+  const std::string* lock_name(std::uint64_t lock) const;
+
+  // --- queries (offline; run after recording stopped) ----------------------
+  /// Surviving events, oldest first.
+  std::vector<Event> snapshot() const;
+
+  /// The newest `limit` events with seq < `cursor` matching `filter`,
+  /// returned in chronological order.
+  std::vector<Event> last_events(std::uint64_t cursor,
+                                 const std::function<bool(const Event&)>& filter,
+                                 std::size_t limit) const;
+
+  /// Warning provenance, chronological: every event on the racing address
+  /// with seq < `cursor` (accesses overlapping [addr, addr+size) and
+  /// detector milestones — the detector records only state-changing
+  /// accesses, so these are few), padded up to `limit` with the newest
+  /// lock operations of the threads that made those accesses.
+  std::vector<Event> explain(std::uint64_t addr, std::uint32_t size,
+                             std::uint64_t cursor, std::size_t limit) const;
+
+  /// One human-readable line for an event (sites resolved through the
+  /// global registry, locks/threads through the name side-tables).
+  std::string describe(const Event& e) const;
+
+  /// Chrome trace-event JSON of the surviving events ("traceEvents"
+  /// instants plus thread-name metadata). Deterministic per seed:
+  /// addresses appear as their normalised ids only.
+  std::string chrome_trace_json() const;
+
+ private:
+  /// Open-addressed first-appearance map: raw address -> dense id. Covers
+  /// the full stream (it is consulted at record time, before wraparound can
+  /// lose events), so the hash never sees a raw pointer.
+  struct AddrMap {
+    struct Slot {
+      std::uint64_t key = 0;
+      std::uint32_t id = 0;
+    };
+    std::vector<Slot> slots;
+    std::size_t mask = 0;
+    std::size_t size = 0;
+    std::uint32_t next_id = 1;  // 0 is reserved for the null address
+
+    AddrMap();
+
+    /// Slot hash. The xor-fold matters: allocation-identity keys differ in
+    /// bits >= 32 (the seq field), and multiply-then-mask alone would
+    /// throw those bits away — every identity with the same offset would
+    /// land in one linear-probe chain.
+    static std::size_t slot_hash(std::uint64_t key) {
+      key *= 0x9E3779B97F4A7C15ull;
+      key ^= key >> 32;
+      return static_cast<std::size_t>(key);
+    }
+
+    std::uint32_t id_of(std::uint64_t addr) {
+      if (addr == 0) return 0;
+      std::size_t i = slot_hash(addr) & mask;
+      while (true) {
+        Slot& s = slots[i];
+        if (s.key == addr) return s.id;
+        if (s.key == 0) {
+          s.key = addr;
+          s.id = next_id++;
+          if (++size * 10 >= slots.size() * 7) grow();
+          return s.id;
+        }
+        i = (i + 1) & mask;
+      }
+    }
+
+    void grow();
+  };
+
+  static bool address_kind(EventKind kind) {
+    return kind == EventKind::Access || kind == EventKind::Alloc ||
+           kind == EventKind::Free || kind == EventKind::Destruct ||
+           kind == EventKind::DetectorShare ||
+           kind == EventKind::DetectorWarning;
+  }
+
+  std::size_t capacity_ = 0;  // power of two
+  std::size_t mask_ = 0;
+  std::vector<Event> ring_;
+  // Plain counter, not atomic: record() is single-producer by contract and
+  // a lock-prefixed increment is a full fence — it drains the store buffer
+  // (busy with shadow-memory writes) on every traced event.
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t hash_ = 0x9E3779B97F4A7C15ull;
+  const std::atomic<std::uint64_t>* clock_ = nullptr;
+  AddrMap addr_map_;
+  std::unordered_map<std::uint32_t, std::string> thread_names_;
+  std::unordered_map<std::uint64_t, std::string> lock_names_;
+};
+
+inline void FlightRecorder::record(EventKind kind, std::uint64_t vtime,
+                                   rt::ThreadId tid, std::uint64_t a,
+                                   std::uint64_t b, support::SiteId site,
+                                   std::uint8_t flags, std::uint64_t ident) {
+  const std::uint64_t seq = next_seq_++;
+  const std::uint32_t norm =
+      address_kind(kind) ? addr_map_.id_of(ident != 0 ? ident : a) : kNoNorm;
+  ring_[seq & mask_] = Event{seq, vtime, a, b, site, norm, tid, kind, flags};
+  // Stream hash: order-sensitive polynomial accumulate over an address-
+  // normalised digest of the event, so it is reproducible across runs
+  // despite ASLR/heap-layout differences. The per-field multiplies are
+  // independent (they pipeline); only the final accumulate extends the
+  // loop-carried dependency chain.
+  std::uint64_t d = vtime * 0x9E3779B97F4A7C15ull;
+  d ^= ((static_cast<std::uint64_t>(kind) << 40) |
+        (static_cast<std::uint64_t>(flags) << 32) | tid) *
+       0xBF58476D1CE4E5B9ull;
+  d ^= (norm != kNoNorm ? norm : a) * 0x94D049BB133111EBull;
+  d ^= b * 0x2545F4914F6CDD1Dull;
+  d ^= static_cast<std::uint64_t>(site) * 0xD6E8FEB86659FD93ull;
+  d ^= d >> 32;
+  hash_ = hash_ * 0xD1B54A32D192ED03ull + d;
+}
+
+/// Escapes a string for embedding in a JSON literal (quotes, backslashes,
+/// control characters).
+std::string json_escape(std::string_view text);
+
+// --- ambient recorder --------------------------------------------------------
+// The recorder governing the calling OS thread (simulated threads all run
+// on the one carrier thread, so one thread-local covers a whole Sim).
+// Installed by Sim::run around the execution; layers that are not plumbed
+// through the Runtime (SIP transactions, breaker logs) record through it.
+FlightRecorder* ambient();
+void set_ambient(FlightRecorder* recorder);
+
+}  // namespace rg::obs

@@ -76,6 +76,11 @@ class tracked {
   /// Address identity used by shadow memory.
   const void* address() const { return &v_; }
 
+  /// Uninstrumented snapshot read — NOT visible to the detector. Only for
+  /// post-run export (metrics publishing): an instrumented load there
+  /// would perturb the event stream relative to an export-free run.
+  T peek() const { return v_; }
+
  private:
   T v_{};
 };

@@ -18,7 +18,16 @@ Runtime::Runtime() = default;
 
 void Runtime::attach(Tool& tool) {
   tools_.push_back(&tool);
+  // Register the row before on_attach: a tool that creates locks in its
+  // attach hook re-enters dispatch() and needs its profiler cell to exist.
+  if (profiler_ != nullptr) profiler_->register_tool(tool.name());
   tool.on_attach(*this);
+}
+
+void Runtime::set_profiler(obs::HookProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ == nullptr) return;
+  for (const Tool* t : tools_) profiler_->register_tool(t->name());
 }
 
 ThreadId Runtime::register_thread(std::string_view name, ThreadId parent,
@@ -28,18 +37,26 @@ ThreadId Runtime::register_thread(std::string_view name, ThreadId parent,
   info.name = std::string(name);
   info.parent = parent;
   threads_.push_back(std::move(info));
-  for (Tool* t : tools_) t->on_thread_start(tid, parent, site);
+  if (recorder_ != nullptr) {
+    recorder_->note_thread_name(tid, std::string(name));
+    recorder_->record_now(obs::EventKind::ThreadStart, tid, parent, 0, site);
+  }
+  dispatch(obs::Hook::ThreadStart,
+           [&](Tool* t) { t->on_thread_start(tid, parent, site); });
   return tid;
 }
 
 void Runtime::thread_exited(ThreadId tid) {
   thread(tid).alive = false;
-  for (Tool* t : tools_) t->on_thread_exit(tid);
+  trace(obs::EventKind::ThreadExit, tid, 0, 0);
+  dispatch(obs::Hook::ThreadExit, [&](Tool* t) { t->on_thread_exit(tid); });
 }
 
 void Runtime::thread_joined(ThreadId joiner, ThreadId joined,
                             support::SiteId site) {
-  for (Tool* t : tools_) t->on_thread_join(joiner, joined, site);
+  trace(obs::EventKind::ThreadJoin, joiner, joined, 0, site);
+  dispatch(obs::Hook::ThreadJoin,
+           [&](Tool* t) { t->on_thread_join(joiner, joined, site); });
 }
 
 std::string_view Runtime::thread_name(ThreadId tid) const {
@@ -51,20 +68,32 @@ bool Runtime::thread_alive(ThreadId tid) const { return thread(tid).alive; }
 LockId Runtime::register_lock(std::string_view name, bool is_rw) {
   const auto id = static_cast<LockId>(locks_.size());
   locks_.push_back(LockInfo{support::intern(name), is_rw, true});
-  for (Tool* t : tools_) t->on_lock_create(id, locks_.back().name, is_rw);
+  if (recorder_ != nullptr) {
+    recorder_->note_lock_name(id, std::string(name));
+    recorder_->record_now(obs::EventKind::LockCreate, kNoThread, id,
+                          is_rw ? 1 : 0);
+  }
+  dispatch(obs::Hook::LockCreate,
+           [&, name_sym = locks_.back().name](Tool* t) {
+             t->on_lock_create(id, name_sym, is_rw);
+           });
   return id;
 }
 
 void Runtime::lock_destroyed(LockId lock) {
   RG_ASSERT(lock < locks_.size());
   locks_[lock].alive = false;
-  for (Tool* t : tools_) t->on_lock_destroy(lock);
+  trace(obs::EventKind::LockDestroy, kNoThread, lock, 0);
+  dispatch(obs::Hook::LockDestroy, [&](Tool* t) { t->on_lock_destroy(lock); });
 }
 
 void Runtime::pre_lock(ThreadId tid, LockId lock, LockMode mode,
                        support::SiteId site) {
   ++sync_events_;
-  for (Tool* t : tools_) t->on_pre_lock(tid, lock, mode, site);
+  trace(obs::EventKind::PreLock, tid, lock, 0, site,
+        static_cast<std::uint8_t>(mode));
+  dispatch(obs::Hook::PreLock,
+           [&](Tool* t) { t->on_pre_lock(tid, lock, mode, site); });
 }
 
 void Runtime::post_lock(ThreadId tid, LockId lock, LockMode mode,
@@ -79,7 +108,10 @@ void Runtime::post_lock(ThreadId tid, LockId lock, LockMode mode,
   } else {
     held.push_back(HeldLock{lock, mode, 1});
   }
-  for (Tool* t : tools_) t->on_post_lock(tid, lock, mode, site);
+  trace(obs::EventKind::PostLock, tid, lock, 0, site,
+        static_cast<std::uint8_t>(mode));
+  dispatch(obs::Hook::PostLock,
+           [&](Tool* t) { t->on_post_lock(tid, lock, mode, site); });
 }
 
 void Runtime::unlock(ThreadId tid, LockId lock, support::SiteId site) {
@@ -92,7 +124,8 @@ void Runtime::unlock(ThreadId tid, LockId lock, support::SiteId site) {
     *it = held.back();
     held.pop_back();
   }
-  for (Tool* t : tools_) t->on_unlock(tid, lock, site);
+  trace(obs::EventKind::Unlock, tid, lock, 0, site);
+  dispatch(obs::Hook::Unlock, [&](Tool* t) { t->on_unlock(tid, lock, site); });
 }
 
 const support::small_vector<HeldLock, 4>& Runtime::held_locks(
@@ -118,63 +151,148 @@ std::string_view Runtime::sync_name(SyncId id) const {
 
 void Runtime::cond_signal(ThreadId tid, SyncId cond, support::SiteId site) {
   ++sync_events_;
-  for (Tool* t : tools_) t->on_cond_signal(tid, cond, site);
+  trace(obs::EventKind::CondSignal, tid, cond, 0, site);
+  dispatch(obs::Hook::CondSignal,
+           [&](Tool* t) { t->on_cond_signal(tid, cond, site); });
 }
 
 void Runtime::cond_wait_return(ThreadId tid, SyncId cond, LockId lock,
                                support::SiteId site) {
   ++sync_events_;
-  for (Tool* t : tools_) t->on_cond_wait_return(tid, cond, lock, site);
+  trace(obs::EventKind::CondWait, tid, cond, lock, site);
+  dispatch(obs::Hook::CondWait,
+           [&](Tool* t) { t->on_cond_wait_return(tid, cond, lock, site); });
 }
 
 void Runtime::sem_post(ThreadId tid, SyncId sem, std::uint64_t token,
                        support::SiteId site) {
   ++sync_events_;
-  for (Tool* t : tools_) t->on_sem_post(tid, sem, token, site);
+  trace(obs::EventKind::SemPost, tid, sem, token, site);
+  dispatch(obs::Hook::SemPost,
+           [&](Tool* t) { t->on_sem_post(tid, sem, token, site); });
 }
 
 void Runtime::sem_wait_return(ThreadId tid, SyncId sem, std::uint64_t token,
                               support::SiteId site) {
   ++sync_events_;
-  for (Tool* t : tools_) t->on_sem_wait_return(tid, sem, token, site);
+  trace(obs::EventKind::SemWait, tid, sem, token, site);
+  dispatch(obs::Hook::SemWait,
+           [&](Tool* t) { t->on_sem_wait_return(tid, sem, token, site); });
 }
 
 void Runtime::queue_put(ThreadId tid, SyncId queue, std::uint64_t token,
                         support::SiteId site) {
   ++sync_events_;
-  for (Tool* t : tools_) t->on_queue_put(tid, queue, token, site);
+  trace(obs::EventKind::QueuePut, tid, queue, token, site);
+  dispatch(obs::Hook::QueuePut,
+           [&](Tool* t) { t->on_queue_put(tid, queue, token, site); });
 }
 
 void Runtime::queue_get(ThreadId tid, SyncId queue, std::uint64_t token,
                         support::SiteId site) {
   ++sync_events_;
-  for (Tool* t : tools_) t->on_queue_get(tid, queue, token, site);
+  trace(obs::EventKind::QueueGet, tid, queue, token, site);
+  dispatch(obs::Hook::QueueGet,
+           [&](Tool* t) { t->on_queue_get(tid, queue, token, site); });
 }
 
 void Runtime::access(const MemoryAccess& a) {
+  // Deliberately not traced here: with the schedule, sync ops and
+  // allocations recorded, raw accesses are a deterministic function of the
+  // program — re-recording each would add the dominant cost of the stream
+  // but no information. The detector records the accesses that matter (the
+  // ones that change shadow state) as EventKind::Access from its hook.
   ++access_events_;
-  for (Tool* t : tools_) t->on_access(a);
+  dispatch(obs::Hook::Access, [&](Tool* t) { t->on_access(a); });
 }
 
 void Runtime::alloc(ThreadId tid, Addr addr, std::uint32_t size,
                     support::SiteId site) {
   AllocInfo info{addr, size, site, tid, ++alloc_seq_};
   live_allocs_[addr] = info;
-  for (Tool* t : tools_) t->on_alloc(tid, addr, size, site);
+  ident_table_.insert(addr, size, info.seq);
+  trace_addr(obs::EventKind::Alloc, tid, addr, size, site);
+  dispatch(obs::Hook::Alloc,
+           [&](Tool* t) { t->on_alloc(tid, addr, size, site); });
 }
 
 void Runtime::free(ThreadId tid, Addr addr, support::SiteId site) {
   auto it = live_allocs_.find(addr);
   RG_ASSERT_MSG(it != live_allocs_.end(), "free of unknown allocation");
   const std::uint32_t size = it->second.size;
+  // Trace while the allocation is still live so the event carries the
+  // allocation-seq identity, matching the block's accesses.
+  trace_addr(obs::EventKind::Free, tid, addr, size, site);
   dead_allocs_[addr] = it->second;
   live_allocs_.erase(it);
-  for (Tool* t : tools_) t->on_free(tid, addr, size, site);
+  ident_table_.erase(addr, size);
+  if (addr == ident_base_) ident_size_ = 0;
+  dispatch(obs::Hook::Free,
+           [&](Tool* t) { t->on_free(tid, addr, size, site); });
 }
 
 void Runtime::destruct_annotation(ThreadId tid, Addr addr, std::uint32_t size,
                                   support::SiteId site) {
-  for (Tool* t : tools_) t->on_destruct_annotation(tid, addr, size, site);
+  trace_addr(obs::EventKind::Destruct, tid, addr, size, site);
+  dispatch(obs::Hook::Destruct,
+           [&](Tool* t) { t->on_destruct_annotation(tid, addr, size, site); });
+}
+
+void IdentTable::put(std::uint64_t key, Addr base, std::uint32_t size,
+                     std::uint64_t seq) {
+  if ((count_ + 1) * 10 >= slots_.size() * 7) grow();
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash(key) & mask;
+  while (slots_[i].key != 0 && slots_[i].key != key) i = (i + 1) & mask;
+  if (slots_[i].key == 0) ++count_;
+  slots_[i] = Slot{key, base, seq, size};
+}
+
+void IdentTable::drop(std::uint64_t key) {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash(key) & mask;
+  while (slots_[i].key != key) {
+    if (slots_[i].key == 0) return;
+    i = (i + 1) & mask;
+  }
+  // Backward-shift deletion: close the hole by pulling back any later
+  // entry of the probe chain that may no longer be reachable across it.
+  std::size_t j = i;
+  while (true) {
+    j = (j + 1) & mask;
+    if (slots_[j].key == 0) break;
+    const std::size_t home = hash(slots_[j].key) & mask;
+    if (((j - home) & mask) >= ((j - i) & mask)) {
+      slots_[i] = slots_[j];
+      i = j;
+    }
+  }
+  slots_[i] = Slot{};
+  --count_;
+}
+
+void IdentTable::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const std::size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.key == 0) continue;
+    std::size_t i = hash(s.key) & mask;
+    while (slots_[i].key != 0) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
+void IdentTable::insert(Addr base, std::uint32_t size, std::uint64_t seq) {
+  if (size == 0) return;
+  const std::uint64_t g1 = (base + size - 1) >> 4;
+  for (std::uint64_t g = base >> 4; g <= g1; ++g) put(g, base, size, seq);
+}
+
+void IdentTable::erase(Addr base, std::uint32_t size) {
+  if (size == 0) return;
+  const std::uint64_t g1 = (base + size - 1) >> 4;
+  for (std::uint64_t g = base >> 4; g <= g1; ++g) drop(g);
 }
 
 AddrOrigin Runtime::origin_of(Addr addr) const {
@@ -214,7 +332,7 @@ std::vector<support::SiteId> Runtime::stack_of(ThreadId tid) const {
 }
 
 void Runtime::finish() {
-  for (Tool* t : tools_) t->on_finish();
+  dispatch(obs::Hook::Finish, [&](Tool* t) { t->on_finish(); });
 }
 
 ToolStats Runtime::tool_stats() const {

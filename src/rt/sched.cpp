@@ -246,6 +246,10 @@ void Scheduler::jump(SimThread& from, SimThread& to, bool from_dying) {
 void Scheduler::hand_off(SimThread& from, SimThread& next) {
   RG_ASSERT(next.state == RunState::Runnable);
   next.state = RunState::Running;
+  if (recorder_ != nullptr)
+    recorder_->record(obs::EventKind::SchedSwitch,
+                      vtime_.load(std::memory_order_relaxed), next.id,
+                      from.id, 0);
   // Precompute the incoming thread's no-switch budget while the scheduler
   // state is settled; it consumes the budget without re-entering here.
   grant_fast_budget();

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/recorder.hpp"
 #include "rt/ids.hpp"
 #include "support/prng.hpp"
 
@@ -137,6 +138,15 @@ class Scheduler {
   const DeadlockEvidence& deadlock() const { return deadlock_; }
   const std::string& client_error() const { return client_error_; }
 
+  /// Mirrors every context switch into the flight recorder (nullptr = off).
+  /// Recording happens only in hand_off — the no-switch fast path stays a
+  /// counter decrement.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
+  /// The virtual-time counter, for FlightRecorder::set_clock. Stable for
+  /// the scheduler's lifetime.
+  const std::atomic<std::uint64_t>* vtime_source() const { return &vtime_; }
+
   /// Installed by Sim so fibers inherit the ambient context. Called at
   /// fiber start (idempotent on a single carrier thread).
   std::function<void()> thread_tls_hook;
@@ -232,6 +242,7 @@ class Scheduler {
   void drain_fast_budget();
 
   SchedConfig config_;
+  obs::FlightRecorder* recorder_ = nullptr;
   support::Xoshiro256 rng_;
   /// switch_probability as the chance() numerator, fixed at construction.
   std::uint64_t switch_chance_num_ = 0;

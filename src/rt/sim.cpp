@@ -24,6 +24,11 @@ SimResult Sim::run(const std::function<void()>& entry) {
   RG_ASSERT_MSG(g_tls_sim == nullptr, "nested simulations are not supported");
   ran_ = true;
 
+  // Ambient recorder scope: all fibers run on this carrier thread, so one
+  // thread-local install covers every simulated thread for the whole run.
+  obs::FlightRecorder* const prev_ambient = obs::ambient();
+  obs::set_ambient(recorder_);
+
   const ThreadId main_tid = runtime_.register_thread(
       config_.main_thread_name, kNoThread, support::kUnknownSite);
   RG_ASSERT(main_tid == kMainThread);
@@ -34,6 +39,7 @@ SimResult Sim::run(const std::function<void()>& entry) {
 
   runtime_.thread_exited(main_tid);
   runtime_.finish();
+  obs::set_ambient(prev_ambient);
 
   SimResult result;
   result.outcome = sched_.outcome();

@@ -50,6 +50,24 @@ class Sim {
   /// Attaches a detection tool; caller keeps ownership.
   void attach(Tool& tool) { runtime_.attach(tool); }
 
+  /// Attaches a flight recorder for the whole execution: its clock becomes
+  /// the scheduler's virtual time, the runtime and scheduler mirror their
+  /// events into it, and run() installs it as the ambient recorder so
+  /// layers above the runtime (SIP transactions, breakers) can record too.
+  /// Must be called before run(); caller keeps ownership.
+  void set_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+    if (recorder != nullptr) recorder->set_clock(sched_.vtime_source());
+    runtime_.set_recorder(recorder);
+    sched_.set_recorder(recorder);
+  }
+  obs::FlightRecorder* recorder() const { return recorder_; }
+
+  /// Attaches a per-tool hook profiler (see Runtime::set_profiler).
+  void set_profiler(obs::HookProfiler* profiler) {
+    runtime_.set_profiler(profiler);
+  }
+
   /// Executes `entry` as the main simulated thread on the calling OS
   /// thread; returns when every simulated thread has finished.
   SimResult run(const std::function<void()>& entry);
@@ -67,6 +85,7 @@ class Sim {
   SimConfig config_;
   Runtime runtime_;
   Scheduler sched_;
+  obs::FlightRecorder* recorder_ = nullptr;
   bool ran_ = false;
 };
 

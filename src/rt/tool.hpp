@@ -7,6 +7,11 @@
 // aids used in tests.
 #pragma once
 
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
 #include "rt/ids.hpp"
 #include "support/site.hpp"
 
@@ -16,6 +21,12 @@ class Runtime;
 
 /// Hot-path cache counters a tool may expose (all zero when a tool has no
 /// such caches). Aggregated across tools by Runtime::tool_stats().
+///
+/// Every counter must appear in the `fields` table below: aggregation and
+/// metrics export are driven by the table, so a counter missing from it
+/// would silently vanish from both. The static_assert under the struct
+/// ties the table's length to the struct's size — adding a member without
+/// extending the table no longer compiles.
 struct ToolStats {
   /// Per-thread effective-lockset cache (Helgrind / EraserBasic).
   std::uint64_t lockset_cache_hits = 0;
@@ -24,14 +35,33 @@ struct ToolStats {
   std::uint64_t shadow_tlb_hits = 0;
   std::uint64_t shadow_tlb_misses = 0;
 
+  struct Field {
+    const char* name;
+    std::uint64_t ToolStats::*member;
+  };
+  static constexpr std::array<Field, 4> fields = {{
+      {"lockset_cache_hits", &ToolStats::lockset_cache_hits},
+      {"lockset_cache_misses", &ToolStats::lockset_cache_misses},
+      {"shadow_tlb_hits", &ToolStats::shadow_tlb_hits},
+      {"shadow_tlb_misses", &ToolStats::shadow_tlb_misses},
+  }};
+
   ToolStats& operator+=(const ToolStats& o) {
-    lockset_cache_hits += o.lockset_cache_hits;
-    lockset_cache_misses += o.lockset_cache_misses;
-    shadow_tlb_hits += o.shadow_tlb_hits;
-    shadow_tlb_misses += o.shadow_tlb_misses;
+    for (const Field& f : fields) this->*f.member += o.*f.member;
     return *this;
   }
+
+  /// Publishes every field as `<prefix><field>` counters.
+  void export_to(obs::MetricsRegistry& registry,
+                 std::string_view prefix = "tool.") const {
+    for (const Field& f : fields)
+      registry.counter(std::string(prefix) + f.name).set(this->*f.member);
+  }
 };
+// A new counter must be added to ToolStats::fields or aggregation drops it.
+static_assert(sizeof(ToolStats) ==
+                  ToolStats::fields.size() * sizeof(std::uint64_t),
+              "ToolStats member missing from ToolStats::fields");
 
 /// Base class for event consumers. All hooks default to no-ops so a tool
 /// only overrides what it needs. Hooks are invoked serially (the scheduler
@@ -101,6 +131,9 @@ class Tool {
 
   /// Cache observability (lockset cache, shadow TLB); defaults to zeros.
   virtual ToolStats stats() const { return {}; }
+
+  /// Short stable identifier used by the hook profiler and metrics export.
+  virtual const char* name() const { return "tool"; }
 
  protected:
   Runtime* rt_ = nullptr;

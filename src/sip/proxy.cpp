@@ -83,7 +83,7 @@ class DefaultHandler final : public RequestHandler {
 Proxy::Proxy(const ProxyConfig& config)
     : config_(config),
       pool_(/*force_new=*/!config.faults.pooled_allocator_reuse),
-      stats_(config.faults.benign_stats_races),
+      stats_(config.faults.benign_stats_races, config.metrics),
       upstreams_(config.upstream, &stats_),
       request_log_("request-log", pool_),
       transaction_log_("transaction-log", pool_),

@@ -76,6 +76,10 @@ struct ProxyConfig {
   std::uint64_t reaper_interval = 200;
   /// Reap terminated transactions every N handled requests.
   std::uint32_t reap_every = 16;
+  /// Shared metrics registry for the infra gauges (nullptr = the proxy's
+  /// stats own a private registry). Caller keeps ownership; must outlive
+  /// the proxy.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class Proxy {

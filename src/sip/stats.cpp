@@ -2,8 +2,24 @@
 
 namespace rg::sip {
 
-ProxyStats::ProxyStats(bool unprotected)
-    : unprotected_(unprotected), mu_("stats-mutex") {}
+ProxyStats::ProxyStats(bool unprotected, obs::MetricsRegistry* registry)
+    : unprotected_(unprotected), mu_("stats-mutex") {
+  if (registry == nullptr) {
+    own_ = std::make_unique<obs::MetricsRegistry>();
+    registry = own_.get();
+  }
+  registry_ = registry;
+  sheds_ = &registry_->counter("proxy.sheds");
+  inflight_ = &registry_->gauge("proxy.inflight");
+  tx_peak_ = &registry_->gauge("proxy.tx_peak");
+  upstream_forwards_ = &registry_->counter("proxy.upstream_forwards");
+  upstream_retries_ = &registry_->counter("proxy.upstream_retries");
+  failovers_ = &registry_->counter("proxy.failovers");
+  degraded_ = &registry_->counter("proxy.degraded_serves");
+  upstream_sheds_ = &registry_->counter("proxy.upstream_sheds");
+  breaker_opens_ = &registry_->counter("proxy.breaker_opens");
+  too_many_hops_ = &registry_->counter("proxy.too_many_hops");
+}
 
 void ProxyStats::count_request(const std::source_location& /*loc*/) {
   guarded([&] { requests_.store(requests_.load() + 1); });
@@ -48,6 +64,17 @@ std::uint64_t ProxyStats::forwards(const std::source_location& /*loc*/) const {
 }
 std::uint64_t ProxyStats::parse_errors(const std::source_location& /*loc*/) const {
   return parse_errors_.load();
+}
+
+void ProxyStats::publish_totals() {
+  // peek(): uninstrumented snapshots, so publishing cannot add accesses to
+  // the event stream — metrics-on and metrics-off runs stay bit-identical.
+  registry_->counter("proxy.requests").set(requests_.peek());
+  registry_->counter("proxy.responses_2xx").set(responses_2xx_.peek());
+  registry_->counter("proxy.responses_4xx").set(responses_4xx_.peek());
+  registry_->counter("proxy.responses_5xx").set(responses_5xx_.peek());
+  registry_->counter("proxy.forwards").set(forwards_.peek());
+  registry_->counter("proxy.parse_errors").set(parse_errors_.peek());
 }
 
 }  // namespace rg::sip

@@ -4,12 +4,27 @@
 // classic "benign race" triage load the paper mentions ("not always easy to
 // decide whether a reported warning is a true defect, a false warning or
 // just a benign race"). With the fault off, a mutex guards them.
+//
+// Two tiers with different contracts:
+//
+//  * The traffic counters (requests, responses, forwards, parse errors) are
+//    rt::tracked cells — *detector-visible by design*; they are the benign-
+//    race workload itself and must stay exactly as they are.
+//
+//  * The infra gauges (overload control, upstream resilience) are plain
+//    relaxed atomics, never detector-visible and never a scheduling point.
+//    Their storage now lives in an obs::MetricsRegistry — pass one via the
+//    constructor to share it (one JSON export for the whole run), or let
+//    ProxyStats own a private registry. The old accessors remain as thin
+//    shims over the registry entries.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <source_location>
 
+#include "obs/metrics.hpp"
 #include "rt/memory.hpp"
 #include "rt/sync.hpp"
 
@@ -17,7 +32,10 @@ namespace rg::sip {
 
 class ProxyStats {
  public:
-  explicit ProxyStats(bool unprotected);
+  /// `registry` receives the infra gauges (and publish_totals snapshots);
+  /// nullptr = ProxyStats owns a private registry.
+  explicit ProxyStats(bool unprotected,
+                      obs::MetricsRegistry* registry = nullptr);
 
   void count_request(const std::source_location& loc =
                          std::source_location::current());
@@ -29,86 +47,53 @@ class ProxyStats {
   void count_parse_error(const std::source_location& loc =
                              std::source_location::current());
 
-  // Overload-control / graceful-degradation gauges. These are plain
-  // std::atomic (never detector-visible, never a scheduling point): the
+  // Overload-control / graceful-degradation gauges. Registry-backed relaxed
+  // atomics (never detector-visible, never a scheduling point): the
   // overload machinery is correct-by-design infrastructure and must not
   // perturb the experiment event stream or add warning sites of its own.
   /// A request was shed with 503 Service Unavailable.
-  void count_shed() { sheds_.fetch_add(1, std::memory_order_relaxed); }
-  std::uint64_t sheds() const {
-    return sheds_.load(std::memory_order_relaxed);
-  }
+  void count_shed() { sheds_->inc(); }
+  std::uint64_t sheds() const { return sheds_->value(); }
   /// Tracks the number of requests currently inside handle().
   std::uint32_t enter_inflight() {
-    return inflight_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return static_cast<std::uint32_t>(inflight_->add(1));
   }
-  void leave_inflight() { inflight_.fetch_sub(1, std::memory_order_relaxed); }
+  void leave_inflight() { inflight_->add(-1); }
   std::uint32_t inflight() const {
-    return inflight_.load(std::memory_order_relaxed);
+    return static_cast<std::uint32_t>(inflight_->value());
   }
   /// Records a transaction-table size observation; keeps the peak.
   void note_transactions(std::size_t n) {
-    std::uint64_t prev = tx_peak_.load(std::memory_order_relaxed);
-    while (n > prev &&
-           !tx_peak_.compare_exchange_weak(prev, n,
-                                           std::memory_order_relaxed)) {
-    }
+    tx_peak_->update_max(static_cast<std::int64_t>(n));
   }
   std::uint64_t transaction_peak() const {
-    return tx_peak_.load(std::memory_order_relaxed);
+    return static_cast<std::uint64_t>(tx_peak_->value());
   }
 
-  // Upstream-resilience gauges (same contract as the overload set above:
-  // plain atomics, never detector-visible, never a scheduling point).
+  // Upstream-resilience gauges (same contract as the overload set above).
   /// A request was answered by an upstream target.
-  void count_upstream_forward() {
-    upstream_forwards_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void count_upstream_forward() { upstream_forwards_->inc(); }
   std::uint64_t upstream_forwards() const {
-    return upstream_forwards_.load(std::memory_order_relaxed);
+    return upstream_forwards_->value();
   }
   /// A forwarding attempt was retried after backoff.
-  void count_upstream_retry() {
-    upstream_retries_.fetch_add(1, std::memory_order_relaxed);
-  }
-  std::uint64_t upstream_retries() const {
-    return upstream_retries_.load(std::memory_order_relaxed);
-  }
+  void count_upstream_retry() { upstream_retries_->inc(); }
+  std::uint64_t upstream_retries() const { return upstream_retries_->value(); }
   /// A request was served by a retry or a non-preferred target.
-  void count_failover() {
-    failovers_.fetch_add(1, std::memory_order_relaxed);
-  }
-  std::uint64_t failovers() const {
-    return failovers_.load(std::memory_order_relaxed);
-  }
+  void count_failover() { failovers_->inc(); }
+  std::uint64_t failovers() const { return failovers_->value(); }
   /// Upstream unavailable but the request was served from registrar data.
-  void count_degraded() {
-    degraded_.fetch_add(1, std::memory_order_relaxed);
-  }
-  std::uint64_t degraded_serves() const {
-    return degraded_.load(std::memory_order_relaxed);
-  }
+  void count_degraded() { degraded_->inc(); }
+  std::uint64_t degraded_serves() const { return degraded_->value(); }
   /// Upstream unavailable and nothing cached: 503 + Retry-After.
-  void count_upstream_shed() {
-    upstream_sheds_.fetch_add(1, std::memory_order_relaxed);
-  }
-  std::uint64_t upstream_sheds() const {
-    return upstream_sheds_.load(std::memory_order_relaxed);
-  }
+  void count_upstream_shed() { upstream_sheds_->inc(); }
+  std::uint64_t upstream_sheds() const { return upstream_sheds_->value(); }
   /// A circuit breaker tripped open.
-  void count_breaker_open() {
-    breaker_opens_.fetch_add(1, std::memory_order_relaxed);
-  }
-  std::uint64_t breaker_opens() const {
-    return breaker_opens_.load(std::memory_order_relaxed);
-  }
+  void count_breaker_open() { breaker_opens_->inc(); }
+  std::uint64_t breaker_opens() const { return breaker_opens_->value(); }
   /// A request was refused with 483 Too Many Hops.
-  void count_too_many_hops() {
-    too_many_hops_.fetch_add(1, std::memory_order_relaxed);
-  }
-  std::uint64_t too_many_hops() const {
-    return too_many_hops_.load(std::memory_order_relaxed);
-  }
+  void count_too_many_hops() { too_many_hops_->inc(); }
+  std::uint64_t too_many_hops() const { return too_many_hops_->value(); }
 
   std::uint64_t requests(const std::source_location& loc =
                              std::source_location::current()) const;
@@ -122,6 +107,15 @@ class ProxyStats {
                              std::source_location::current()) const;
   std::uint64_t parse_errors(const std::source_location& loc =
                                  std::source_location::current()) const;
+
+  /// Snapshots the tracked traffic counters into `proxy.requests` etc.
+  /// registry counters so the JSON export covers both tiers. Reads the
+  /// tracked cells — call it *outside* the simulated run (after Sim::run
+  /// returns the loads are native pass-throughs with zero event traffic).
+  void publish_totals();
+
+  /// The registry holding the infra gauges (shared or private).
+  obs::MetricsRegistry& registry() { return *registry_; }
 
  private:
   template <typename Fn>
@@ -142,16 +136,19 @@ class ProxyStats {
   rt::tracked<std::uint64_t> responses_5xx_;
   rt::tracked<std::uint64_t> forwards_;
   rt::tracked<std::uint64_t> parse_errors_;
-  std::atomic<std::uint64_t> sheds_{0};
-  std::atomic<std::uint32_t> inflight_{0};
-  std::atomic<std::uint64_t> tx_peak_{0};
-  std::atomic<std::uint64_t> upstream_forwards_{0};
-  std::atomic<std::uint64_t> upstream_retries_{0};
-  std::atomic<std::uint64_t> failovers_{0};
-  std::atomic<std::uint64_t> degraded_{0};
-  std::atomic<std::uint64_t> upstream_sheds_{0};
-  std::atomic<std::uint64_t> breaker_opens_{0};
-  std::atomic<std::uint64_t> too_many_hops_{0};
+
+  std::unique_ptr<obs::MetricsRegistry> own_;  // fallback storage
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Counter* sheds_ = nullptr;
+  obs::Gauge* inflight_ = nullptr;
+  obs::Gauge* tx_peak_ = nullptr;
+  obs::Counter* upstream_forwards_ = nullptr;
+  obs::Counter* upstream_retries_ = nullptr;
+  obs::Counter* failovers_ = nullptr;
+  obs::Counter* degraded_ = nullptr;
+  obs::Counter* upstream_sheds_ = nullptr;
+  obs::Counter* breaker_opens_ = nullptr;
+  obs::Counter* too_many_hops_ = nullptr;
 };
 
 }  // namespace rg::sip

@@ -1,6 +1,9 @@
 #include "sip/transaction.hpp"
 
 #include "annotate/runtime.hpp"
+#include "obs/recorder.hpp"
+#include "rt/sim.hpp"
+#include "support/intern.hpp"
 
 namespace rg::sip {
 
@@ -54,6 +57,12 @@ void ServerTransaction::set_state(TxState next,
                                   const std::source_location& /*loc*/) {
   // Caller holds mu_.
   state_.store(next);
+  if (obs::FlightRecorder* fr = obs::ambient(); fr != nullptr)
+    fr->record_now(obs::EventKind::TxnState,
+                   rt::Sim::current() != nullptr
+                       ? rt::Sim::current()->sched().current()
+                       : rt::kNoThread,
+                   support::intern(branch_), static_cast<std::uint64_t>(next));
   // Every state change re-arms the retransmission timers.
   timers_->arm(state_.load() == TxState::Terminated ? 0 : 1);
 }

@@ -1,5 +1,7 @@
 #include "sip/upstream.hpp"
 
+#include "obs/recorder.hpp"
+
 #include <algorithm>
 #include <map>
 
@@ -285,6 +287,13 @@ void UpstreamPool::record_transition(std::uint32_t target, BreakerState from,
     rec.cooldown = cooldown;
     log_.push_back(rec);
     if (to == BreakerState::Open) ++opens_;
+    if (obs::FlightRecorder* fr = obs::ambient(); fr != nullptr)
+      fr->record(obs::EventKind::BreakerTransition, rec.vtime,
+                 rt::Sim::current() != nullptr ? rt::Sim::current()->sched().current()
+                                               : rt::kNoThread,
+                 target,
+                 obs::pack_breaker(static_cast<std::uint8_t>(from),
+                                   static_cast<std::uint8_t>(to), cooldown));
   }
   if (to == BreakerState::Open && stats_ != nullptr)
     stats_->count_breaker_open();

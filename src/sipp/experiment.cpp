@@ -28,6 +28,8 @@ ExperimentResult run_scenario(const Scenario& scenario,
   sim_cfg.sched.seed = config.seed;
   sim_cfg.sched.fast_path = config.sched_fast_path;
   rt::Sim sim(sim_cfg);
+  sim.set_recorder(config.recorder);
+  sim.set_profiler(config.profiler);
   sim.attach(helgrind);
   if (config.deadlock_tool) sim.attach(deadlock);
 
@@ -38,6 +40,7 @@ ExperimentResult run_scenario(const Scenario& scenario,
     proxy_cfg.faults = config.faults;
     proxy_cfg.overload = config.overload;
     proxy_cfg.upstream = config.upstream;
+    proxy_cfg.metrics = config.metrics;
     if (proxy_cfg.upstream.enabled() &&
         proxy_cfg.upstream.request_budget_ticks == 0) {
       // Deadline propagation: the forwarding hop may spend at most half of
@@ -81,6 +84,9 @@ ExperimentResult run_scenario(const Scenario& scenario,
     result.breaker_transitions = proxy.upstreams().transitions_text();
     result.transitions_monotone = sip::validate_transitions(
         proxy.upstreams().transitions(), &result.transitions_error);
+    // Snapshot the tracked traffic counters into the shared registry
+    // (uninstrumented peek() reads — publishing never perturbs the stream).
+    if (config.metrics != nullptr) proxy.stats().publish_totals();
   });
   result.injection_trace = chaos.trace_text();
   result.report_overflow = helgrind.reports().overflow_reports();
@@ -97,6 +103,28 @@ ExperimentResult run_scenario(const Scenario& scenario,
   result.lock_order_reports = deadlock.reports().distinct_locations();
   result.lockset_distinct = helgrind.locksets().distinct_sets();
   result.tool_stats = sim.runtime().tool_stats();
+  result.reports = reports.reports();
+  if (config.recorder != nullptr) {
+    result.recorder_hash = config.recorder->hash();
+    result.recorder_events = config.recorder->recorded();
+    result.recorder_dropped = config.recorder->dropped();
+  }
+  if (config.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config.metrics;
+    result.tool_stats.export_to(m);
+    m.counter("sim.steps").set(result.sim.steps);
+    m.counter("sim.fast_path_steps").set(result.sim.fast_path_steps);
+    m.counter("sim.virtual_time").set(result.sim.virtual_time);
+    m.counter("sim.access_events").set(result.sim.access_events);
+    m.counter("sim.sync_events").set(result.sim.sync_events);
+    m.counter("detector.reported_locations").set(result.reported_locations);
+    m.counter("detector.total_warnings").set(result.total_warnings);
+    if (config.recorder != nullptr) {
+      m.counter("recorder.events").set(result.recorder_events);
+      m.counter("recorder.dropped").set(result.recorder_dropped);
+    }
+    if (config.profiler != nullptr) config.profiler->export_to(m);
+  }
   return result;
 }
 

@@ -7,6 +7,10 @@
 #include <vector>
 
 #include "core/helgrind.hpp"
+#include "core/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "rt/chaos.hpp"
 #include "rt/sim.hpp"
 #include "rt/tool.hpp"
@@ -56,6 +60,19 @@ struct ExperimentConfig {
   /// Scheduler no-switch fast path. Schedules are bit-identical either way;
   /// off only for the equivalence tests and perf comparison.
   bool sched_fast_path = true;
+
+  // --- observability --------------------------------------------------------
+  // All three default to nullptr = off; attaching them never perturbs the
+  // schedule (the recorder has no scheduling points, the profiler only
+  // wraps tool dispatch). Caller keeps ownership across the run.
+  /// Flight recorder: clocked by the Sim's virtual time, mirrors every
+  /// runtime/scheduler/chaos/SIP event, feeds warning provenance.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Per-tool hook profiler (Fig. 5-style events/cycles table).
+  obs::HookProfiler* profiler = nullptr;
+  /// Metrics registry: receives the proxy infra gauges during the run and
+  /// the tool/sim/recorder summary counters after it.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ExperimentResult {
@@ -101,6 +118,16 @@ struct ExperimentResult {
   std::uint64_t degraded_serves = 0;
   std::uint64_t upstream_sheds = 0;
   std::uint64_t breaker_opens = 0;
+
+  // --- observability --------------------------------------------------------
+  /// Stream hash over every recorded event (0 when no recorder attached).
+  /// Equal hashes == the two executions raised the same events in order.
+  std::uint64_t recorder_hash = 0;
+  std::uint64_t recorder_events = 0;
+  std::uint64_t recorder_dropped = 0;
+  /// The distinct warning reports, with their recorder provenance cursors
+  /// (rg-debug --explain indexes into this).
+  std::vector<core::Report> reports;
 };
 
 /// Runs `scenario` once. Deterministic in (scenario, config).

@@ -82,7 +82,14 @@ std::string outcome_counts_text(const ChaosRunResult& run) {
 }
 
 SoakCell run_soak_cell(std::uint64_t seed, const SoakMix& mix) {
-  const ExperimentConfig config = soak_experiment(seed, mix);
+  ExperimentConfig config = soak_experiment(seed, mix);
+  // Every soak cell carries a flight recorder so the replay check can
+  // compare whole event streams, not just the trace/transition summaries.
+  // A modest ring suffices: the hash covers events lost to wraparound.
+  obs::RecorderConfig rec_cfg;
+  rec_cfg.capacity = 1u << 15;
+  obs::FlightRecorder recorder(rec_cfg);
+  config.recorder = &recorder;
   const Scenario scenario = build_testcase(5, seed);
   const ExperimentResult result = run_scenario(scenario, config);
 
@@ -95,6 +102,7 @@ SoakCell run_soak_cell(std::uint64_t seed, const SoakMix& mix) {
   cell.injection_trace = result.injection_trace;
   cell.breaker_transitions = result.breaker_transitions;
   cell.outcomes = outcome_counts_text(result.chaos);
+  cell.recorder_hash = result.recorder_hash;
   cell.calls = result.chaos.calls.size();
   cell.finals = result.chaos.finals;
   cell.shed = result.chaos.shed;
@@ -130,7 +138,8 @@ SoakMatrixResult run_soak_matrix(const std::vector<std::uint64_t>& seeds,
         const SoakCell replay = run_soak_cell(seed, mix);
         if (replay.injection_trace != cell.injection_trace ||
             replay.breaker_transitions != cell.breaker_transitions ||
-            replay.outcomes != cell.outcomes) {
+            replay.outcomes != cell.outcomes ||
+            replay.recorder_hash != cell.recorder_hash) {
           matrix.replay_identical = false;
           if (matrix.first_error.empty())
             matrix.first_error = label + ": replay diverged";

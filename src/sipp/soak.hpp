@@ -51,6 +51,10 @@ struct SoakCell {
   std::string injection_trace;     // canonical chaos trace
   std::string breaker_transitions; // canonical breaker log
   std::string outcomes;            // outcome_counts_text() of the run
+  /// Flight-recorder stream hash of the cell's execution. Covers every
+  /// event ever recorded, so it is a stronger replay oracle than the three
+  /// strings above: equal hashes == same events in the same order.
+  std::uint64_t recorder_hash = 0;
 
   // Headline gauges for tables.
   std::uint64_t calls = 0;

@@ -45,6 +45,17 @@ TEST(SoakMatrix, AllCellsConvergeMonotonicallyAndReplayIdentically) {
   EXPECT_GT(total_opens, 0u);
   EXPECT_GT(total_failovers, 0u);
 
+  // Every cell carried a flight recorder and hashed a non-trivial event
+  // stream; the replay check above already proved run 2 reproduced each
+  // hash bit-for-bit (the recorder as equivalence oracle). Distinct seeds
+  // must also hash differently — a constant hash would be vacuous.
+  std::set<std::uint64_t> hashes;
+  for (const SoakCell& cell : matrix.cells) {
+    EXPECT_NE(cell.recorder_hash, 0u) << cell.mix << " seed " << cell.seed;
+    hashes.insert(cell.recorder_hash);
+  }
+  EXPECT_EQ(hashes.size(), matrix.cells.size());
+
   // Different seeds of one mix are genuinely different executions (the
   // sweep is not 15 copies of one run).
   std::set<std::string> traces;

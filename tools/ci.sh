@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
 # Tier-1 CI: regular build + full test suite, then an ASan+UBSan build.
 #
-# Usage: tools/ci.sh [--fast] [--bench] [--soak]
+# Usage: tools/ci.sh [--fast] [--bench] [--soak] [--trace]
 #   --fast   skip the chaos-labelled tests in the sanitizer pass (they run
 #            the full fault-injection scenarios and dominate its runtime)
 #   --bench  additionally run the bench-labelled smoke tests against the
 #            (optimized) default build and check BENCH_*.json output
 #   --soak   additionally run the replayable chaos soak matrix (seeds x
 #            fault mixes, every cell replay-verified) on the default build
+#   --trace  additionally smoke the flight recorder: a seeded E6 run with
+#            rg-debug --trace-out, validated as loadable Chrome trace JSON
+#            and byte-identical across two same-seed runs
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,11 +18,13 @@ cd "$(dirname "$0")/.."
 FAST=0
 BENCH=0
 SOAK=0
+TRACE=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --bench) BENCH=1 ;;
     --soak) SOAK=1 ;;
+    --trace) TRACE=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -33,9 +38,31 @@ if [[ "$BENCH" == 1 ]]; then
   echo "== bench: smoke runs of the perf-critical binaries =="
   ctest --preset bench
   for f in build/bench/BENCH_hotpath.json build/bench/BENCH_slowdown.json \
-           build/bench/BENCH_resilience.json; do
+           build/bench/BENCH_resilience.json \
+           build/bench/BENCH_observability.json; do
     [[ -s "$f" ]] || { echo "missing bench result: $f" >&2; exit 1; }
   done
+fi
+
+if [[ "$TRACE" == 1 ]]; then
+  echo "== trace: flight-recorder smoke (seeded E6 run, Perfetto JSON) =="
+  trace_dir=$(mktemp -d)
+  trap 'rm -rf "$trace_dir"' EXIT
+  build/tools/rg-debug --testcase 5 --config hwlc+dr --seed 11 \
+    --trace-out "$trace_dir/run1.json" > /dev/null
+  build/tools/rg-debug --testcase 5 --config hwlc+dr --seed 11 \
+    --trace-out "$trace_dir/run2.json" > /dev/null
+  cmp "$trace_dir/run1.json" "$trace_dir/run2.json" \
+    || { echo "same-seed traces differ" >&2; exit 1; }
+  python3 - "$trace_dir/run1.json" <<'PY'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "empty traceEvents"
+assert all(e["ph"] in ("i", "M") for e in events), "unexpected phase"
+assert any(e["ph"] == "i" for e in events), "no instant events"
+print(f"trace OK: {len(events)} events, byte-identical across runs")
+PY
 fi
 
 if [[ "$SOAK" == 1 ]]; then

@@ -16,13 +16,22 @@
 //     --gen-suppressions F  write suppressions for all reported locations
 //     --log FILE         write the warning log to FILE instead of stdout
 //     --deadlock-tool    also run the lock-order checker
+//     --trace-out FILE   write the flight-recorder Chrome trace JSON
+//     --metrics-out FILE write the unified metrics registry as JSON
+//     --explain N        provenance for warning N (0-based): dump the
+//                        recorded events that drove its lockset to empty
+//     --profile          print the per-tool hook profile (events/cycles)
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/recorder.hpp"
 #include "sipp/experiment.hpp"
 #include "sipp/testcases.hpp"
 #include "support/table.hpp"
@@ -36,6 +45,8 @@ namespace {
       "                [--faults paper|none] [--parallelism P]\n"
       "                [--suppressions FILE] [--gen-suppressions FILE]\n"
       "                [--log FILE] [--deadlock-tool]\n"
+      "                [--trace-out FILE] [--metrics-out FILE]\n"
+      "                [--explain N] [--profile]\n"
       "  configs: original | hwlc | hwlc+dr | extended\n"
       "  modes:   thread-per-request | thread-pool\n");
   std::exit(code);
@@ -64,6 +75,10 @@ int main(int argc, char** argv) {
   std::string config_name = "hwlc+dr";
   std::string log_path;
   std::string gen_suppressions_path;
+  std::string trace_path;
+  std::string metrics_path;
+  long explain_index = -1;
+  bool profile = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -113,6 +128,15 @@ int main(int argc, char** argv) {
       log_path = next();
     } else if (arg == "--deadlock-tool") {
       cfg.deadlock_tool = true;
+    } else if (arg == "--trace-out") {
+      trace_path = next();
+    } else if (arg == "--metrics-out") {
+      metrics_path = next();
+    } else if (arg == "--explain") {
+      explain_index = std::atol(next());
+      if (explain_index < 0) usage(2);
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(0);
     } else {
@@ -121,12 +145,26 @@ int main(int argc, char** argv) {
   }
   if (testcase < 0 || testcase > sipp::kTestCaseCount) usage(2);
 
+  // Observability: attach the recorder whenever the trace or a warning
+  // provenance dump was requested, the registry for --metrics-out and the
+  // profiler for --profile. All are off (nullptr) otherwise so the classic
+  // paths run exactly as before.
+  obs::RecorderConfig rec_cfg;
+  rec_cfg.capacity = 1u << 18;
+  obs::FlightRecorder recorder(rec_cfg);
+  obs::MetricsRegistry metrics;
+  obs::HookProfiler profiler;
+  if (!trace_path.empty() || explain_index >= 0) cfg.recorder = &recorder;
+  if (!metrics_path.empty()) cfg.metrics = &metrics;
+  if (profile) cfg.profiler = &profiler;
+
   support::Table summary("rg-debug — configuration '" + config_name + "'");
   summary.header({"Test case", "locations", "total", "suppressed",
                   "lock-order", "responses", "outcome"});
 
   std::string full_log;
   std::string all_suppressions;
+  std::vector<core::Report> all_reports;
   const int first = testcase == 0 ? 1 : testcase;
   const int last = testcase == 0 ? sipp::kTestCaseCount : testcase;
   for (int n = first; n <= last; ++n) {
@@ -141,9 +179,52 @@ int main(int argc, char** argv) {
     full_log += result.report_text;
     full_log += '\n';
     all_suppressions += result.generated_suppressions;
+    for (const core::Report& r : result.reports) all_reports.push_back(r);
   }
 
   std::printf("%s\n", summary.render().c_str());
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path, std::ios::binary);
+    out << recorder.chrome_trace_json();
+    std::printf(
+        "trace written to %s (%llu events recorded, %llu dropped, "
+        "hash %016llx)\n",
+        trace_path.c_str(),
+        static_cast<unsigned long long>(recorder.recorded()),
+        static_cast<unsigned long long>(recorder.dropped()),
+        static_cast<unsigned long long>(recorder.hash()));
+  }
+  if (!metrics_path.empty()) {
+    metrics.write_json(metrics_path);
+    std::printf("metrics written to %s (%zu series)\n", metrics_path.c_str(),
+                metrics.size());
+  }
+  if (profile) std::printf("%s\n", profiler.render().c_str());
+  if (explain_index >= 0) {
+    if (static_cast<std::size_t>(explain_index) >= all_reports.size()) {
+      std::fprintf(stderr,
+                   "rg-debug: --explain %ld out of range (%zu warnings)\n",
+                   explain_index, all_reports.size());
+      return 1;
+    }
+    const core::Report& r = all_reports[explain_index];
+    std::printf("=== explain warning %ld: %s on %u bytes at %s ===\n",
+                explain_index, core::to_string(r.kind), r.access.size,
+                support::global_sites().describe(r.access.site).c_str());
+    if (r.recorder_cursor == 0) {
+      std::printf("no provenance: warning fired with no recorder attached\n");
+    } else {
+      const std::vector<obs::Event> events =
+          recorder.explain(r.access.addr, r.access.size, r.recorder_cursor, 32);
+      for (const obs::Event& e : events)
+        std::printf("  %s\n", recorder.describe(e).c_str());
+      std::printf("%zu events (accesses on the racing address + lock "
+                  "operations of its threads) before the warning\n",
+                  events.size());
+    }
+  }
+
   if (!gen_suppressions_path.empty()) {
     std::ofstream out(gen_suppressions_path, std::ios::binary);
     out << all_suppressions;
