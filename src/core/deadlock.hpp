@@ -1,55 +1,15 @@
 // DeadlockTool — lock-order checking.
 //
-// The paper (§3.3) relies on the race checker for deadlock detection
-// instead of the application's own timeout hack ("since the race-checker
-// also does dead-lock detection, application level detection is not
-// needed"). This tool maintains the lock-acquisition order graph: an edge
-// A→B is recorded when a thread acquires B while holding A; a cycle means
-// two threads can interleave into a deadlock even if this run did not
-// block. Complements the scheduler's detection of *actual* deadlocks.
+// The implementation grew into the full lock-order-graph tool in
+// core/lockgraph.hpp (acquisition histories, cross-thread refinements,
+// predicted cycles). The old name stays as an alias: the naive tier of
+// LockGraphTool is behavior-compatible with the original DeadlockTool.
 #pragma once
 
-#include <cstdint>
-#include <map>
-#include <set>
-#include <unordered_map>
-#include <vector>
-
-#include "core/report.hpp"
-#include "rt/tool.hpp"
+#include "core/lockgraph.hpp"
 
 namespace rg::core {
 
-class DeadlockTool : public rt::Tool {
- public:
-  const char* name() const override { return "deadlock"; }
-  DeadlockTool();
-
-  ReportManager& reports() { return reports_; }
-  const ReportManager& reports() const { return reports_; }
-
-  void on_pre_lock(rt::ThreadId tid, rt::LockId lock, rt::LockMode mode,
-                   support::SiteId site) override;
-
-  /// Number of distinct order edges observed (statistics).
-  std::size_t edge_count() const;
-
- private:
-  struct Edge {
-    support::SiteId first_site = support::kUnknownSite;   // where A was held
-    support::SiteId second_site = support::kUnknownSite;  // where B was taken
-  };
-
-  /// True if `to` can reach `from` through recorded edges (cycle check).
-  bool reaches(rt::LockId from, rt::LockId to) const;
-
-  void report_cycle(rt::ThreadId tid, rt::LockId held, rt::LockId wanted,
-                    support::SiteId site);
-
-  ReportManager reports_;
-  // adjacency: lock -> set of locks acquired while it was held
-  std::unordered_map<rt::LockId, std::map<rt::LockId, Edge>> order_;
-  std::set<std::pair<rt::LockId, rt::LockId>> reported_pairs_;
-};
+using DeadlockTool = LockGraphTool;
 
 }  // namespace rg::core

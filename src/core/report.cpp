@@ -14,6 +14,8 @@ const char* to_string(Report::Kind kind) {
       return "Race";
     case Report::Kind::LockOrderInversion:
       return "LockOrder";
+    case Report::Kind::PredictedDeadlock:
+      return "Deadlock";
   }
   return "?";
 }
@@ -160,6 +162,13 @@ std::string ReportManager::render(const rt::Runtime& rt) const {
         break;
       case Report::Kind::LockOrderInversion:
         out += "Potential deadlock: lock order inversion\n";
+        break;
+      case Report::Kind::PredictedDeadlock:
+        out += "Predicted deadlock: feasible lock cycle of ";
+        out += std::to_string(r.cycle_locks.size());
+        out += " locks across ";
+        out += std::to_string(r.cycle_threads.size());
+        out += " threads\n";
         break;
     }
     bool first = true;

@@ -23,6 +23,9 @@ struct Report {
   enum class Kind : std::uint8_t {
     DataRace,
     LockOrderInversion,
+    /// A refined lock-order cycle that survived the cross-thread feasibility
+    /// refinements: some interleaving of the observed run can deadlock.
+    PredictedDeadlock,
   };
 
   Kind kind = Kind::DataRace;
@@ -45,6 +48,11 @@ struct Report {
   /// it. rg-debug --explain uses it to dump the accesses and lock
   /// operations that drove the lockset to empty.
   std::uint64_t recorder_cursor = 0;
+  /// PredictedDeadlock only: the locks of the predicted cycle, in cycle
+  /// order, and the thread that takes each edge. rg-debug --explain
+  /// filters the flight-recorder stream down to these participants.
+  std::vector<std::uint64_t> cycle_locks;
+  std::vector<rt::ThreadId> cycle_threads;
 
   /// Innermost report frame (the access site when the stack is empty).
   support::SiteId top_site() const {

@@ -46,6 +46,8 @@ const char* to_string(EventKind kind) {
     case EventKind::TxnState: return "txn-state";
     case EventKind::DetectorShare: return "detector-share";
     case EventKind::DetectorWarning: return "detector-warning";
+    case EventKind::DeadlockAcquire: return "deadlock-acquire";
+    case EventKind::DeadlockCycle: return "deadlock-cycle";
     case EventKind::Custom: return "custom";
   }
   return "?";
@@ -229,6 +231,14 @@ std::string FlightRecorder::describe(const Event& e) const {
     case EventKind::DetectorWarning:
       out += " obj#" + std::to_string(e.norm) + " (location " +
              std::to_string(e.b) + ")";
+      break;
+    case EventKind::DeadlockAcquire:
+      out += lock_label(e.a);
+      out += " holding " + std::to_string(e.b) + " lock(s)";
+      break;
+    case EventKind::DeadlockCycle:
+      out += " predicted cycle through" + lock_label(e.a) + " (" +
+             std::to_string(e.b) + " locks)";
       break;
     default:
       out += " a=" + std::to_string(e.a) + " b=" + std::to_string(e.b);

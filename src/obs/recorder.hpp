@@ -74,6 +74,10 @@ enum class EventKind : std::uint8_t {
   // Detector milestones.
   DetectorShare,      // a = address, b = new shadow state (first share only)
   DetectorWarning,    // a = address, b = distinct locations so far
+  // Lock-order graph milestones (recorded only while the lock-graph tool
+  // is attached, so classic streams keep their hashes).
+  DeadlockAcquire,    // a = lock being acquired, b = held-lock count
+  DeadlockCycle,      // a = first lock of the predicted cycle, b = length
   Custom,
 };
 constexpr std::size_t kEventKindCount =

@@ -1,0 +1,76 @@
+#include "rt/replay.hpp"
+
+#include <string>
+
+#include "rt/runtime.hpp"
+#include "rt/sim.hpp"
+
+namespace rg::rt {
+
+CycleReplayDriver::CycleReplayDriver(CycleSpec spec)
+    : spec_(std::move(spec)),
+      staged_(spec_.edges.size(), false),
+      observed_(spec_.edges.size(), kNoThread) {}
+
+void CycleReplayDriver::on_pre_lock(ThreadId tid, LockId lock,
+                                    LockMode /*mode*/,
+                                    support::SiteId /*site*/) {
+  if (released_ || spec_.edges.empty()) return;
+  // A thread that already carries one edge cannot carry another.
+  for (std::size_t i = 0; i < spec_.edges.size(); ++i)
+    if (staged_[i] && observed_[i] == tid) return;
+  // The predicted tid is one witness of a *role*; any thread reproducing
+  // the edge's acquisition pattern — requesting `second` with `first`
+  // already held — can carry the edge. (In the proxy every worker runs the
+  // same nesting, and the first to arrive may not be the predicted one.)
+  std::size_t edge = spec_.edges.size();
+  for (std::size_t i = 0; i < spec_.edges.size() && edge == spec_.edges.size();
+       ++i) {
+    if (staged_[i]) continue;
+    if (spec_.edges[i].second != lock) continue;
+    for (const HeldLock& held : rt_->held_locks(tid)) {
+      if (held.lock == spec_.edges[i].first) {
+        edge = i;
+        break;
+      }
+    }
+  }
+  if (edge == spec_.edges.size()) return;
+  staged_[edge] = true;
+  observed_[edge] = tid;
+  ++staged_count_;
+  Sim* sim = Sim::current();
+  if (sim == nullptr) return;  // native mode: nothing to steer
+  if (staged_count_ == spec_.edges.size()) {
+    // Last thread in: release the parked peers and fall through into the
+    // acquisition; every cycle thread now requests its second lock while
+    // holding its first.
+    released_ = true;
+    for (std::size_t i = 0; i < spec_.edges.size(); ++i)
+      if (i != edge) sim->sched().unblock(observed_[i]);
+    return;
+  }
+  // Park here — first lock held, second not yet requested — until the
+  // whole cycle is staged. The wait itself carries no lock id: if the
+  // remaining threads never arrive, the resulting stall must not read as
+  // a confirmation.
+  sim->sched().block("oracle: staged before acquiring '" +
+                     std::string(rt_->lock_name(lock)) + "'");
+}
+
+bool CycleReplayDriver::confirmed(const DeadlockEvidence& evidence) const {
+  if (!released_) return false;
+  for (std::size_t i = 0; i < spec_.edges.size(); ++i) {
+    bool matched = false;
+    for (const DeadlockEvidence::BlockedThread& b : evidence.blocked) {
+      if (b.tid == observed_[i] && b.waiting_lock == spec_.edges[i].second) {
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+}  // namespace rg::rt

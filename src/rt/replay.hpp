@@ -1,0 +1,64 @@
+// CycleReplayDriver — the replay-to-deadlock oracle.
+//
+// A predicted lock cycle is a claim about a run nobody has seen: "some
+// interleaving of this program deadlocks". The oracle tests the claim by
+// re-running the program under the deterministic scheduler with a tool
+// that *steers* the schedule: each cycle thread is parked at the pre-lock
+// hook of its second acquisition — first lock held, second not yet
+// requested — and once every cycle thread is staged, all are released
+// together. If the prediction is real, each thread then blocks on a lock
+// held by the next and the scheduler declares an actual deadlock whose
+// evidence (thread, waited-on lock) matches the cycle edge for edge.
+// Predicted vs. confirmed is the headline metric.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rt/sched.hpp"
+#include "rt/tool.hpp"
+
+namespace rg::rt {
+
+/// One edge of the cycle under test: some thread must acquire `second`
+/// while holding `first`. `tid` records the predicted witness thread, but
+/// the witness is one representative of a role — the driver stages
+/// whichever thread first reproduces the acquisition pattern (at most one
+/// edge per thread).
+struct CycleEdgeSpec {
+  ThreadId tid = kNoThread;
+  LockId first = kNoLock;
+  LockId second = kNoLock;
+};
+
+struct CycleSpec {
+  std::vector<CycleEdgeSpec> edges;
+};
+
+class CycleReplayDriver : public Tool {
+ public:
+  explicit CycleReplayDriver(CycleSpec spec);
+  const char* name() const override { return "replay-oracle"; }
+
+  void on_pre_lock(ThreadId tid, LockId lock, LockMode mode,
+                   support::SiteId site) override;
+
+  /// Cycle threads currently (or ever) staged at their second acquisition.
+  std::size_t staged_count() const { return staged_count_; }
+  /// True once every cycle thread staged and the group was released.
+  bool released() const { return released_; }
+
+  /// True when the deadlock evidence shows every cycle thread blocked on
+  /// exactly its second lock — the prediction reproduced structurally.
+  bool confirmed(const DeadlockEvidence& evidence) const;
+
+ private:
+  CycleSpec spec_;
+  std::vector<bool> staged_;
+  /// The thread actually carrying each staged edge.
+  std::vector<ThreadId> observed_;
+  std::size_t staged_count_ = 0;
+  bool released_ = false;
+};
+
+}  // namespace rg::rt

@@ -389,7 +389,7 @@ void Scheduler::grant_fast_budget() {
                         std::memory_order_relaxed);
 }
 
-void Scheduler::block(const std::string& reason) {
+void Scheduler::block(const std::string& reason, std::uint64_t waiting_lock) {
   SimThread& me = slot(g_tls_tid);
   if (me.abort || aborting_.load(std::memory_order_relaxed)) {
     if (std::uncaught_exceptions() == 0) throw SimAbort{client_error_};
@@ -397,7 +397,9 @@ void Scheduler::block(const std::string& reason) {
   }
   me.state = RunState::Blocked;
   me.block_reason = reason;
+  me.block_lock = waiting_lock;
   schedule_out(me);
+  me.block_lock = kNoWaitingLock;
 }
 
 void Scheduler::unblock(ThreadId tid) {
@@ -467,7 +469,7 @@ void Scheduler::record_deadlock() {
   DeadlockEvidence ev;
   for (const auto& t : threads_)
     if (t->state == RunState::Blocked || t->state == RunState::Sleeping)
-      ev.blocked.push_back({t->id, t->block_reason});
+      ev.blocked.push_back({t->id, t->block_reason, t->block_lock});
   deadlock_ = std::move(ev);
 }
 

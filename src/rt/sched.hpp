@@ -67,10 +67,19 @@ enum class SimOutcome : std::uint8_t {
   ClientError,
 };
 
+/// Sentinel for DeadlockEvidence::BlockedThread::waiting_lock: the thread
+/// is blocked on something other than a lock acquisition (join, condvar,
+/// semaphore, sleep, oracle staging).
+constexpr std::uint64_t kNoWaitingLock = ~0ull;
+
 struct DeadlockEvidence {
   struct BlockedThread {
     ThreadId tid = kNoThread;
     std::string reason;
+    /// LockId the thread was blocked acquiring, kNoWaitingLock otherwise.
+    /// The replay oracle matches a predicted cycle against this: confirmed
+    /// means every cycle thread is blocked on exactly its second lock.
+    std::uint64_t waiting_lock = kNoWaitingLock;
   };
   std::vector<BlockedThread> blocked;
   std::string describe() const;
@@ -98,8 +107,11 @@ class Scheduler {
   void preempt();
 
   /// Blocks the calling thread until `unblock(tid)` makes it runnable
-  /// again. `reason` feeds deadlock evidence.
-  void block(const std::string& reason);
+  /// again. `reason` feeds deadlock evidence; `waiting_lock` is the LockId
+  /// being acquired when the block is a lock wait (kNoWaitingLock
+  /// otherwise), so deadlock evidence stays machine-checkable.
+  void block(const std::string& reason,
+             std::uint64_t waiting_lock = kNoWaitingLock);
 
   /// Marks a blocked thread runnable (does not transfer control).
   void unblock(ThreadId tid);
@@ -166,6 +178,7 @@ class Scheduler {
     bool abort = false;
     std::uint64_t wake_at = 0;
     std::string block_reason;
+    std::uint64_t block_lock = kNoWaitingLock;
     std::function<void()> fn;
     std::vector<ThreadId> join_waiters;
     ucontext_t ctx{};

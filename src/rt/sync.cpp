@@ -35,7 +35,8 @@ void mutex::lock(const std::source_location& loc) {
   while (owner_ != kNoThread) {
     wait_queue_.push_back(me);
     sim_->sched().block("waiting for mutex '" + name_ + "' held by thread " +
-                        std::to_string(owner_));
+                            std::to_string(owner_),
+                        id_);
   }
   owner_ = me;
   sim_->runtime().post_lock(me, id_, LockMode::Exclusive, site);
@@ -86,7 +87,7 @@ void rw_mutex::lock(const std::source_location& loc) {
   sim_->sched().preempt();
   while (writer_ != kNoThread || !readers_.empty()) {
     wait_queue_.push_back(me);
-    sim_->sched().block("waiting for write lock '" + name_ + "'");
+    sim_->sched().block("waiting for write lock '" + name_ + "'", id_);
   }
   writer_ = me;
   sim_->runtime().post_lock(me, id_, LockMode::Exclusive, site);
@@ -104,7 +105,7 @@ void rw_mutex::lock_shared(const std::source_location& loc) {
   sim_->sched().preempt();
   while (writer_ != kNoThread) {
     wait_queue_.push_back(me);
-    sim_->sched().block("waiting for read lock '" + name_ + "'");
+    sim_->sched().block("waiting for read lock '" + name_ + "'", id_);
   }
   readers_.push_back(me);
   sim_->runtime().post_lock(me, id_, LockMode::Shared, site);

@@ -2,8 +2,48 @@
 
 #include "rt/sim.hpp"
 #include "support/assert.hpp"
+#include "support/prng.hpp"
 
 namespace rg::sip {
+
+std::uint32_t DeadlockMonitor::with_ordered_locks_recovering(
+    rt::mutex& outer, rt::mutex& inner, std::uint64_t deadline_ticks,
+    std::uint64_t jitter_seed, const std::function<void()>& fn) {
+  rt::Sim* sim = rt::Sim::current();
+  std::uint64_t jitter_state = jitter_seed;
+  std::uint32_t backoffs = 0;
+  for (;;) {
+    outer.lock();
+    const std::uint64_t start =
+        sim != nullptr ? sim->sched().virtual_time() : 0;
+    std::uint64_t spins = 0;
+    bool acquired = false;
+    for (;;) {
+      if (inner.try_lock()) {
+        acquired = true;
+        break;
+      }
+      if (sim != nullptr) {
+        if (sim->sched().virtual_time() - start >= deadline_ticks) break;
+        rt::yield();
+      } else {
+        if (++spins >= deadline_ticks) break;
+      }
+    }
+    if (acquired) {
+      fn();
+      inner.unlock();
+      outer.unlock();
+      return backoffs;
+    }
+    // Deadline expired: whoever holds `inner` may be waiting for `outer`.
+    // Release what we hold, back off a jittered beat and retry — the
+    // opposite-order holder can now drain.
+    outer.unlock();
+    ++backoffs;
+    rt::sleep_ticks(1 + support::splitmix64(jitter_state) % 16);
+  }
+}
 
 DeadlockMonitor::DeadlockMonitor(std::uint64_t timeout_ticks)
     : timeout_ticks_(timeout_ticks), stop_flag_(0), alarms_(0) {}

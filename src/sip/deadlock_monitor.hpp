@@ -1,20 +1,34 @@
-// Application-level deadlock watchdog — itself racy (§4.1).
+// Application-level deadlock handling: the seeded-racy watchdog and the
+// non-racy recovery path.
 //
 // The paper: "Deadlocks on Mutex locks are detected by the application
 // using a timeout while trying to acquire a lock inside the lock-function"
 // and "one of the first reported data races was in the application's
 // deadlock detection code. Unfortunately, this code was not easy to change
-// … Therefore, it was disabled for further experiments." The monitor keeps
-// per-slot acquisition bookkeeping that worker threads update without
-// synchronisation and a watchdog thread scans concurrently.
+// … Therefore, it was disabled for further experiments." The watchdog
+// below is that seeded defect: per-slot acquisition bookkeeping that
+// worker threads update without synchronisation while a watchdog thread
+// scans concurrently. It stays behind FaultConfig::racy_deadlock_monitor
+// and exists only as detector workload — it never recovers anything.
+//
+// The recovery the original *claimed* to do ("a timeout while trying to
+// acquire a lock inside the lock-function") is provided separately by
+// with_ordered_locks_recovering(): try-lock the inner lock under a
+// virtual-time deadline, and on timeout release everything, back off a
+// seeded-jitter beat and retry. It is race-free (no shared bookkeeping)
+// and deadlock-free by construction — the caller never blocks on the
+// inner lock while holding the outer — so soak and resilience paths
+// default to it instead of the watchdog.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <source_location>
 #include <string>
 
 #include "rt/memory.hpp"
+#include "rt/sync.hpp"
 #include "rt/thread.hpp"
 
 namespace rg::sip {
@@ -47,6 +61,16 @@ class DeadlockMonitor {
                            std::source_location::current()) const;
 
   bool running() const { return watchdog_.joinable(); }
+
+  /// Non-racy recovery: locks `outer`, then try-locks `inner` until
+  /// `deadline_ticks` of virtual time pass (a spin-count fallback outside
+  /// a Sim). On timeout it releases `outer`, sleeps a jittered beat drawn
+  /// from `jitter_seed` and retries, so an opposite-order holder can make
+  /// progress. Runs `fn` with both locks held. Returns the number of
+  /// back-offs taken (0 = clean nested acquisition).
+  static std::uint32_t with_ordered_locks_recovering(
+      rt::mutex& outer, rt::mutex& inner, std::uint64_t deadline_ticks,
+      std::uint64_t jitter_seed, const std::function<void()>& fn);
 
  private:
   void watchdog_loop();

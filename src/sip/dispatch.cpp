@@ -41,8 +41,10 @@ std::vector<std::string> ThreadPerRequestDispatcher::dispatch(
           "request-worker");
     }
     // "After a while the first thread waits for the second thread to finish,
-    // before it uses the memory again."
-    for (rt::thread& t : threads) t.join();
+    // before it uses the memory again." (joinable() guard: threads created
+    // during post-deadlock teardown are empty handles.)
+    for (rt::thread& t : threads)
+      if (t.joinable()) t.join();
     for (auto& job : jobs) {
       RG_ASSERT(job->state.load() == 2);
       job->response_marker.read();
@@ -102,7 +104,8 @@ std::vector<std::string> ThreadPoolDispatcher::dispatch(
   }
 
   requests.close();
-  for (rt::thread& t : workers) t.join();
+  for (rt::thread& t : workers)
+    if (t.joinable()) t.join();
   return responses;
 }
 

@@ -83,4 +83,28 @@ struct FaultConfig {
 static_assert(sizeof(FaultConfig) == FaultConfig::all_flags().size(),
               "every FaultConfig toggle must be listed in all_flags()");
 
+/// Seeded lock-inversion hazards for the predictive deadlock experiments.
+/// Kept apart from FaultConfig: these are ordering hazards for the
+/// lock-order-graph tool, not §4.1 race classes, and every one defaults
+/// off so classic runs see a bit-identical event stream.
+struct DeadlockHazards {
+  /// Family A: an INVITE worker nests registrar-lock → upstream target-0
+  /// lock while the expiry reaper nests the opposite way.
+  bool registrar_vs_upstream = false;
+  /// Family B: shutdown nests stop-mutex → registrar-lock while the
+  /// reaper's stop check nests registrar-lock → stop-mutex (shutdown-order
+  /// inversion against in-flight teardown).
+  bool shutdown_inversion = false;
+  /// Wraps both sides of every enabled hazard in one gate lock: the
+  /// inversion still exists textually but can never interleave into a
+  /// deadlock — the negative control the refinements must not flag.
+  bool gate_locked = false;
+  /// Worker/shutdown sides use the non-racy try-lock + backoff recovery
+  /// path (DeadlockMonitor::with_ordered_locks_recovering) instead of
+  /// blocking nested acquisition, so soak runs survive the inversion.
+  bool recover = false;
+
+  bool any() const { return registrar_vs_upstream || shutdown_inversion; }
+};
+
 }  // namespace rg::sip

@@ -88,6 +88,7 @@ Proxy::Proxy(const ProxyConfig& config)
       request_log_("request-log", pool_),
       transaction_log_("transaction-log", pool_),
       stop_mu_("proxy-stop-mutex"),
+      hazard_gate_("hazard-gate"),
       stop_flag_(0),
       reaper_interval_(0),
       handled_count_(0),
@@ -153,7 +154,31 @@ void Proxy::shutdown(const std::source_location& /*loc*/) {
     modules_.clear(/*annotated=*/true);
   }
 
-  {
+  if (config_.hazards.shutdown_inversion) {
+    // Hazard family B: raise the stop flag and touch registrar state in
+    // one stop-mutex section — the opposite nesting of the reaper's stop
+    // check (registrar-lock → stop-mutex).
+    auto raise = [&] {
+      if (config_.hazards.recover) {
+        const std::uint32_t backoffs =
+            DeadlockMonitor::with_ordered_locks_recovering(
+                stop_mu_, registrar_.lock_handle(), /*deadline_ticks=*/64,
+                config_.upstream.seed ^ 0x5ca1ab1eull,
+                [&] { stop_flag_.store(1); });
+        if (backoffs != 0) stats_.count_deadlock_recoveries(backoffs);
+      } else {
+        rt::lock_guard guard(stop_mu_);
+        stop_flag_.store(1);
+        rt::lock_guard reg(registrar_.lock_handle());
+      }
+    };
+    if (config_.hazards.gate_locked) {
+      rt::lock_guard gate(hazard_gate_);
+      raise();
+    } else {
+      raise();
+    }
+  } else {
     rt::lock_guard guard(stop_mu_);
     stop_flag_.store(1);
   }
@@ -190,7 +215,23 @@ void Proxy::shutdown(const std::source_location& /*loc*/) {
 void Proxy::reaper_loop() {
   RG_FRAME();
   for (;;) {
-    {
+    if (config_.hazards.shutdown_inversion) {
+      // Hazard family B: the stop check runs under the registrar lock —
+      // inverted against shutdown's stop-mutex → registrar-lock nesting.
+      bool stop = false;
+      auto check = [&] {
+        rt::lock_guard reg(registrar_.lock_handle());
+        rt::lock_guard guard(stop_mu_);
+        stop = stop_flag_.load() != 0;
+      };
+      if (config_.hazards.gate_locked) {
+        rt::lock_guard gate(hazard_gate_);
+        check();
+      } else {
+        check();
+      }
+      if (stop) return;
+    } else {
       rt::lock_guard guard(stop_mu_);
       if (stop_flag_.load() != 0) return;
     }
@@ -198,6 +239,7 @@ void Proxy::reaper_loop() {
     // store in start().
     const std::uint64_t interval = reaper_interval_.load();
     rt::sleep_ticks(interval == 0 ? 50 : interval);
+    hazard_probe_reaper();
     registrar_.expire(now());
     transactions_.reap();
     // The reaper consults domain data each round; during a faulty
@@ -205,6 +247,49 @@ void Proxy::reaper_loop() {
     (void)modules_.find_domain(config_.domain);
     request_log_.trim(8);
     transaction_log_.trim(8);
+  }
+}
+
+void Proxy::hazard_probe_worker() {
+  if (!config_.hazards.registrar_vs_upstream || upstreams_.size() == 0) return;
+  rt::mutex& reg = registrar_.lock_handle();
+  rt::mutex& tgt = upstreams_.target(0)->lock_handle();
+  if (config_.hazards.recover) {
+    // Non-racy recovery instead of blocking nested acquisition: the
+    // worker never blocks on the target lock while holding the registrar
+    // lock, so the inversion cannot complete a cycle.
+    const std::uint32_t backoffs =
+        DeadlockMonitor::with_ordered_locks_recovering(
+            reg, tgt, /*deadline_ticks=*/64,
+            config_.upstream.seed ^
+                (static_cast<std::uint64_t>(rt::Sim::current_thread()) << 32),
+            [] {});
+    if (backoffs != 0) stats_.count_deadlock_recoveries(backoffs);
+    return;
+  }
+  auto nest = [&] {
+    rt::lock_guard a(reg);
+    rt::lock_guard b(tgt);
+  };
+  if (config_.hazards.gate_locked) {
+    rt::lock_guard gate(hazard_gate_);
+    nest();
+  } else {
+    nest();
+  }
+}
+
+void Proxy::hazard_probe_reaper() {
+  if (!config_.hazards.registrar_vs_upstream || upstreams_.size() == 0) return;
+  auto nest = [&] {
+    rt::lock_guard b(upstreams_.target(0)->lock_handle());
+    rt::lock_guard a(registrar_.lock_handle());
+  };
+  if (config_.hazards.gate_locked) {
+    rt::lock_guard gate(hazard_gate_);
+    nest();
+  } else {
+    nest();
   }
 }
 
@@ -432,6 +517,9 @@ std::unique_ptr<SipResponse> InviteHandler::handle(
           ? proxy.modules().find_domain_unprotected(target.host)
           : proxy.modules().find_domain(target.host);
   if (domain == nullptr) return proxy.make_response(403, request);
+
+  // Seeded hazard family A (worker side): registrar-lock → target-lock.
+  proxy.hazard_probe_worker();
 
   // Max-Forwards enforcement (RFC 3261 §16.3): the effective hop budget is
   // the smaller of the domain policy and the request header, and a request

@@ -64,6 +64,9 @@ struct OverloadConfig {
 
 struct ProxyConfig {
   FaultConfig faults;
+  /// Seeded lock-inversion hazards (all off by default: classic runs see a
+  /// bit-identical event stream).
+  DeadlockHazards hazards;
   OverloadConfig overload;
   /// Upstream resilience layer. Zero targets (the default) disables
   /// forwarding entirely, so classic runs see a bit-identical event stream.
@@ -145,6 +148,11 @@ class Proxy {
   /// True when a transaction-creating request must be shed (503).
   bool overloaded() const;
   void reaper_loop();
+  /// Hazard family A, worker side: nests registrar-lock → upstream
+  /// target-0 lock (or the recovery path when hazards.recover).
+  void hazard_probe_worker();
+  /// Hazard family A, reaper side: the opposite nesting.
+  void hazard_probe_reaper();
   std::unique_ptr<SipResponse> make_response(
       int status, const SipRequest& request,
       const std::source_location& loc = std::source_location::current());
@@ -169,6 +177,8 @@ class Proxy {
   // seeded races live elsewhere).
   rt::thread reaper_;
   mutable rt::mutex stop_mu_;
+  /// Common gate for the hazards.gate_locked negative control.
+  rt::mutex hazard_gate_;
   rt::tracked<std::uint8_t> stop_flag_;
   /// Read by the reaper; with the init-order fault this is written *after*
   /// the reaper already started (§4.1.1).

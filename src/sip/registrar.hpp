@@ -67,6 +67,11 @@ class Registrar {
 
   std::size_t size() const;
 
+  /// The registrar's guard, exposed for the seeded lock-order hazard
+  /// scenarios (they nest it against other subsystem locks). Never call
+  /// the locking accessors above while holding it.
+  rt::mutex& lock_handle() const { return mu_; }
+
  private:
   mutable rt::mutex mu_;
   std::map<std::string, Binding*> bindings_;

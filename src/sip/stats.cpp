@@ -19,6 +19,7 @@ ProxyStats::ProxyStats(bool unprotected, obs::MetricsRegistry* registry)
   upstream_sheds_ = &registry_->counter("proxy.upstream_sheds");
   breaker_opens_ = &registry_->counter("proxy.breaker_opens");
   too_many_hops_ = &registry_->counter("proxy.too_many_hops");
+  deadlock_recoveries_ = &registry_->counter("proxy.deadlock_recoveries");
 }
 
 void ProxyStats::count_request(const std::source_location& /*loc*/) {

@@ -94,6 +94,15 @@ class ProxyStats {
   /// A request was refused with 483 Too Many Hops.
   void count_too_many_hops() { too_many_hops_->inc(); }
   std::uint64_t too_many_hops() const { return too_many_hops_->value(); }
+  /// A nested acquisition recovered from a potential deadlock: the
+  /// try-lock deadline expired, held locks were released and the
+  /// acquisition retried after backoff.
+  void count_deadlock_recoveries(std::uint32_t n) {
+    deadlock_recoveries_->inc(n);
+  }
+  std::uint64_t deadlock_recoveries() const {
+    return deadlock_recoveries_->value();
+  }
 
   std::uint64_t requests(const std::source_location& loc =
                              std::source_location::current()) const;
@@ -149,6 +158,7 @@ class ProxyStats {
   obs::Counter* upstream_sheds_ = nullptr;
   obs::Counter* breaker_opens_ = nullptr;
   obs::Counter* too_many_hops_ = nullptr;
+  obs::Counter* deadlock_recoveries_ = nullptr;
 };
 
 }  // namespace rg::sip

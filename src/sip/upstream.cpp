@@ -249,6 +249,18 @@ void UpstreamPool::start() {
 
 void UpstreamPool::shutdown() {
   if (targets_.empty()) return;
+  rt::Sim* sim = rt::Sim::current();
+  if (sim != nullptr && sim->sched().tearing_down()) {
+    // Post-deadlock teardown: thread creation is a no-op, so the crew
+    // below would never run its deletes — reclaim inline (the run is
+    // already aborted; the concurrent-destructor workload is moot).
+    for (UpstreamTarget*& t : targets_) {
+      delete t;
+      t = nullptr;
+    }
+    targets_.clear();
+    return;
+  }
   // §4.2.1 destructor workload: the shared polymorphic targets are torn
   // down by several concurrent teardown threads, each announcing the
   // destruction with the Fig. 4 annotation before deleting.
@@ -265,7 +277,10 @@ void UpstreamPool::shutdown() {
         },
         "upstream-teardown");
   }
-  for (rt::thread& th : crew) th.join();
+  // joinable() guard: during post-deadlock teardown thread creation is a
+  // no-op and yields an empty handle that must not be joined.
+  for (rt::thread& th : crew)
+    if (th.joinable()) th.join();
   targets_.clear();
 }
 

@@ -171,6 +171,10 @@ class UpstreamTarget : public SipObject {
   std::uint64_t served() const;
   std::uint64_t failed() const;
 
+  /// The target's breaker guard, exposed for the seeded lock-order hazard
+  /// scenarios. Never call the locking accessors above while holding it.
+  rt::mutex& lock_handle() const { return mu_; }
+
  private:
   static void breaker_listener(void* ctx, BreakerState from, BreakerState to,
                                std::uint64_t now, std::uint64_t cooldown);

@@ -32,12 +32,14 @@ ExperimentResult run_scenario(const Scenario& scenario,
   sim.set_profiler(config.profiler);
   sim.attach(helgrind);
   if (config.deadlock_tool) sim.attach(deadlock);
+  if (config.replay != nullptr) sim.attach(*config.replay);
 
   ExperimentResult result;
 
   result.sim = sim.run([&] {
     sip::ProxyConfig proxy_cfg;
     proxy_cfg.faults = config.faults;
+    proxy_cfg.hazards = config.hazards;
     proxy_cfg.overload = config.overload;
     proxy_cfg.upstream = config.upstream;
     proxy_cfg.metrics = config.metrics;
@@ -81,6 +83,7 @@ ExperimentResult run_scenario(const Scenario& scenario,
     result.upstream_sheds = proxy.stats().upstream_sheds();
     result.breaker_opens = proxy.stats().breaker_opens();
     proxy.shutdown();
+    result.deadlock_recoveries = proxy.stats().deadlock_recoveries();
     result.breaker_transitions = proxy.upstreams().transitions_text();
     result.transitions_monotone = sip::validate_transitions(
         proxy.upstreams().transitions(), &result.transitions_error);
@@ -101,9 +104,21 @@ ExperimentResult run_scenario(const Scenario& scenario,
   result.report_text = reports.render(sim.runtime());
   result.generated_suppressions = reports.generate_suppressions();
   result.lock_order_reports = deadlock.reports().distinct_locations();
+  result.predicted_cycles = deadlock.predicted();
+  result.lockgraph = deadlock.counters();
   result.lockset_distinct = helgrind.locksets().distinct_sets();
   result.tool_stats = sim.runtime().tool_stats();
   result.reports = reports.reports();
+  if (config.deadlock_tool) {
+    // Merge the deadlock tool's reports (tier-A inversions + tier-B
+    // predictions) so rg-debug --explain can narrate a predicted cycle
+    // from its recorder cursor like any other warning.
+    for (const core::Report& r : deadlock.reports().reports())
+      result.reports.push_back(r);
+    for (const core::Report& r : deadlock.predictions().reports())
+      result.reports.push_back(r);
+    result.report_text += deadlock.predictions().render(sim.runtime());
+  }
   if (config.recorder != nullptr) {
     result.recorder_hash = config.recorder->hash();
     result.recorder_events = config.recorder->recorded();
@@ -119,6 +134,7 @@ ExperimentResult run_scenario(const Scenario& scenario,
     m.counter("sim.sync_events").set(result.sim.sync_events);
     m.counter("detector.reported_locations").set(result.reported_locations);
     m.counter("detector.total_warnings").set(result.total_warnings);
+    if (config.deadlock_tool) deadlock.export_metrics(m);
     if (config.recorder != nullptr) {
       m.counter("recorder.events").set(result.recorder_events);
       m.counter("recorder.dropped").set(result.recorder_dropped);

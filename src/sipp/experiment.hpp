@@ -7,11 +7,13 @@
 #include <vector>
 
 #include "core/helgrind.hpp"
+#include "core/lockgraph.hpp"
 #include "core/report.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/recorder.hpp"
 #include "rt/chaos.hpp"
+#include "rt/replay.hpp"
 #include "rt/sim.hpp"
 #include "rt/tool.hpp"
 #include "sip/faults.hpp"
@@ -35,6 +37,13 @@ struct ExperimentConfig {
   core::HelgrindConfig detector = core::HelgrindConfig::original();
   /// Also run the lock-order deadlock tool.
   bool deadlock_tool = false;
+  /// Seeded lock-inversion hazards in the proxy (all off by default).
+  sip::DeadlockHazards hazards;
+  /// Replay-to-deadlock oracle: when set, the driver is attached as a tool
+  /// and stages the run so a previously *predicted* cycle actually blocks.
+  /// Caller keeps ownership; inspect driver->confirmed(result.sim.deadlock)
+  /// after the run.
+  rt::CycleReplayDriver* replay = nullptr;
   /// Optional Valgrind-style suppression file contents.
   std::string suppressions;
 
@@ -85,8 +94,16 @@ struct ExperimentResult {
   std::string report_text;
   /// --gen-suppressions output: one block per reported location.
   std::string generated_suppressions;
-  /// Lock-order inversions (deadlock tool, when attached).
+  /// Lock-order inversions (deadlock tool, when attached): naive tier-A
+  /// edge-set inversions, byte-compatible with the pre-lockgraph tool.
   std::size_t lock_order_reports = 0;
+  /// Tier-B *predicted* cycles that survived the cross-thread refinements
+  /// (guard-lock and single-thread pruning). Empty without deadlock_tool.
+  std::vector<core::PredictedCycle> predicted_cycles;
+  /// Lock-graph refinement counters (edges, pruned, predicted).
+  core::LockGraphTool::Counters lockgraph;
+  /// Recoveries performed by the non-racy ordered-lock recovery path.
+  std::uint64_t deadlock_recoveries = 0;
   rt::SimResult sim;
   std::size_t responses = 0;
   std::size_t lockset_distinct = 0;

@@ -1,0 +1,133 @@
+#include "sipp/hazards.hpp"
+
+#include <string>
+#include <utility>
+
+namespace rg::sipp {
+
+const char* hazard_family_name(HazardFamily family) {
+  switch (family) {
+    case HazardFamily::RegistrarVsUpstream:
+      return "registrar-vs-upstream";
+    case HazardFamily::ShutdownInversion:
+      return "shutdown-inversion";
+  }
+  return "?";
+}
+
+Scenario build_hazard_scenario(HazardFamily family, std::uint64_t seed) {
+  MessageFactory factory;
+  Scenario s;
+  s.name = hazard_family_name(family);
+  const std::string tag = "hz" + std::to_string(seed % 1000);
+  if (family == HazardFamily::RegistrarVsUpstream) {
+    // REGISTER a few users, then INVITE batches: every INVITE runs the
+    // worker-side probe (registrar-lock → upstream-target-lock) while the
+    // reaper periodically nests the other way round.
+    std::vector<std::string> registers;
+    for (int u = 0; u < 4; ++u)
+      registers.push_back(factory.register_request(
+          "alice" + std::to_string(u), tag + "r" + std::to_string(u), 1));
+    s.phases.push_back(std::move(registers));
+    for (int phase = 0; phase < 3; ++phase) {
+      std::vector<std::string> invites;
+      for (int u = 0; u < 4; ++u)
+        invites.push_back(factory.invite(
+            "bob" + std::to_string(u), "alice" + std::to_string(u),
+            tag + "i" + std::to_string(phase * 4 + u),
+            static_cast<std::uint32_t>(phase + 1)));
+      s.phases.push_back(std::move(invites));
+    }
+  } else {
+    // OPTIONS only: that path takes neither the registrar lock nor any
+    // upstream lock, so the replay oracle can park the reaper and the
+    // shutdown thread without a worker wedging behind a staged lock.
+    for (int phase = 0; phase < 4; ++phase) {
+      std::vector<std::string> pings;
+      for (int u = 0; u < 4; ++u)
+        pings.push_back(factory.options(
+            "carol" + std::to_string(u),
+            tag + "o" + std::to_string(phase * 4 + u),
+            static_cast<std::uint32_t>(phase + 1)));
+      s.phases.push_back(std::move(pings));
+    }
+  }
+  return s;
+}
+
+ExperimentConfig hazard_config(HazardFamily family, std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.seed = seed;
+  // A clean proxy apart from the seeded inversion: the prediction runs
+  // must owe every report to the hazard, not the classic fault plan.
+  cfg.faults = sip::FaultConfig::none();
+  cfg.mode = DispatchMode::ThreadPerRequest;  // stable thread ids
+  cfg.parallelism = 4;
+  cfg.deadlock_tool = true;
+  if (family == HazardFamily::RegistrarVsUpstream) {
+    cfg.hazards.registrar_vs_upstream = true;
+    cfg.upstream.targets = 1;  // the probe nests onto target 0's lock
+    cfg.upstream.seed = seed;
+  } else {
+    cfg.hazards.shutdown_inversion = true;
+  }
+  return cfg;
+}
+
+HazardRunResult run_hazard(HazardFamily family, std::uint64_t seed,
+                           obs::MetricsRegistry* metrics) {
+  HazardRunResult out;
+  const Scenario scenario = build_hazard_scenario(family, seed);
+  ExperimentConfig cfg = hazard_config(family, seed);
+  cfg.metrics = metrics;
+
+  ExperimentResult predict = run_scenario(scenario, cfg);
+  out.completed = predict.sim.completed();
+  out.predicted = predict.predicted_cycles.size();
+  out.naive_inversions = predict.lock_order_reports;
+  out.cycles = predict.predicted_cycles;
+
+  // Replay-to-deadlock oracle: re-run the same (scenario, seed) per
+  // predicted cycle with a driver that parks each participant just before
+  // its second acquisition, then releases them together. The cycle is
+  // confirmed when the run deadlocks with every edge's thread blocked on
+  // exactly the lock the prediction named.
+  for (const core::PredictedCycle& cycle : out.cycles) {
+    rt::CycleSpec spec;
+    for (const core::PredictedCycle::Edge& e : cycle.edges)
+      spec.edges.push_back({e.tid, e.first, e.second});
+    rt::CycleReplayDriver driver(spec);
+    ExperimentConfig confirm_cfg = cfg;
+    confirm_cfg.metrics = nullptr;  // keep the registry on the predict run
+    confirm_cfg.replay = &driver;
+    const ExperimentResult confirm = run_scenario(scenario, confirm_cfg);
+    if (confirm.sim.deadlocked() && driver.confirmed(confirm.sim.deadlock))
+      ++out.confirmed;
+  }
+  if (metrics != nullptr)
+    metrics->counter("lockgraph.confirmed_cycles").set(out.confirmed);
+  out.predict_run = std::move(predict);
+  return out;
+}
+
+RecoverySoakResult run_recovery_soak(HazardFamily family,
+                                     std::uint64_t seed) {
+  RecoverySoakResult out;
+  const Scenario scenario = build_hazard_scenario(family, seed);
+  ExperimentConfig cfg = hazard_config(family, seed);
+  cfg.hazards.recover = true;
+  obs::FlightRecorder recorder;
+  cfg.recorder = &recorder;
+
+  const ExperimentResult result = run_scenario(scenario, cfg);
+  out.completed = result.sim.completed();
+  out.responses = result.responses;
+  // Every hazard-scenario message is response-bearing (no ACKs), so a
+  // completed soak must answer all of them.
+  out.expected_responses = scenario.total_messages();
+  out.recoveries = result.deadlock_recoveries;
+  out.recorder_hash = result.recorder_hash;
+  return out;
+}
+
+}  // namespace rg::sipp

@@ -1,0 +1,91 @@
+// Deadlock-hazard scenarios and the predict → replay-confirm pipeline.
+//
+// Two seeded lock-inversion families in the proxy (sip::DeadlockHazards)
+// stand in for the real-world inversions the paper's server shipped with:
+//
+//  * RegistrarVsUpstream — an INVITE worker nests registrar-lock →
+//    upstream-target-lock while the expiry reaper nests the opposite way.
+//  * ShutdownInversion — the reaper's stop-check nests registrar-lock →
+//    stop-mutex while shutdown nests stop-mutex → registrar-lock.
+//
+// run_hazard() drives the headline metric of the predictive tier: run the
+// scenario once under the lock-graph tool on a *non-deadlocking* schedule,
+// collect the predicted cycles, then re-run per cycle with the replay
+// oracle staging each participant just before its second acquisition to
+// confirm the cycle blocks for real. run_recovery_soak() runs the same
+// hazard with the non-racy recovery path enabled and checks nothing is
+// lost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sipp/experiment.hpp"
+#include "sipp/scenario.hpp"
+
+namespace rg::sipp {
+
+enum class HazardFamily : std::uint8_t {
+  RegistrarVsUpstream,
+  ShutdownInversion,
+};
+
+const char* hazard_family_name(HazardFamily family);
+
+/// Traffic that exercises the hazard's worker side. RegistrarVsUpstream
+/// sends REGISTER + INVITE batches (the INVITE handler runs the worker
+/// probe); ShutdownInversion sends OPTIONS only — that path touches
+/// neither the registrar lock nor the upstream locks, so the replay
+/// oracle can stage the reaper/shutdown threads without a worker wedging
+/// the staging.
+Scenario build_hazard_scenario(HazardFamily family, std::uint64_t seed);
+
+/// Experiment preset for hazard runs: clean fault plan, thread-per-request
+/// dispatch (stable thread ids across replays), lock-graph tool attached,
+/// and the family's hazard flag set.
+ExperimentConfig hazard_config(HazardFamily family, std::uint64_t seed);
+
+struct HazardRunResult {
+  /// The prediction run finished without deadlocking.
+  bool completed = false;
+  /// Tier-B cycles predicted by the lock-graph refinements.
+  std::size_t predicted = 0;
+  /// Predicted cycles the replay oracle drove into a real deadlock.
+  std::size_t confirmed = 0;
+  /// Naive tier-A inversion reports (pre-refinement baseline).
+  std::size_t naive_inversions = 0;
+  std::vector<core::PredictedCycle> cycles;
+  /// Full result of the prediction run (reports, counters, recorder).
+  ExperimentResult predict_run;
+};
+
+/// Runs the predict → confirm pipeline for one hazard family. When
+/// `metrics` is non-null the prediction run exports into it and
+/// `lockgraph.confirmed_cycles` is set afterwards.
+HazardRunResult run_hazard(HazardFamily family, std::uint64_t seed,
+                           obs::MetricsRegistry* metrics = nullptr);
+
+struct RecoverySoakResult {
+  bool completed = false;
+  std::size_t responses = 0;
+  /// Every scenario message expects a response; lost transactions =
+  /// expected_responses - responses.
+  std::size_t expected_responses = 0;
+  /// Backoff cycles taken by the ordered-lock recovery path.
+  std::uint64_t recoveries = 0;
+  /// Flight-recorder stream hash — equal across same-seed runs means the
+  /// recovery path (jitter included) replays deterministically.
+  std::uint64_t recorder_hash = 0;
+
+  std::size_t lost() const {
+    return expected_responses > responses ? expected_responses - responses
+                                          : 0;
+  }
+};
+
+/// Runs the hazard with hazards.recover enabled (the inversion's blocking
+/// side replaced by try-lock + deadline + release + jittered retry) and a
+/// flight recorder attached for the determinism hash.
+RecoverySoakResult run_recovery_soak(HazardFamily family, std::uint64_t seed);
+
+}  // namespace rg::sipp

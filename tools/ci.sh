@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 CI: regular build + full test suite, then an ASan+UBSan build.
 #
-# Usage: tools/ci.sh [--fast] [--bench] [--soak] [--trace]
+# Usage: tools/ci.sh [--fast] [--bench] [--soak] [--trace] [--deadlock]
 #   --fast   skip the chaos-labelled tests in the sanitizer pass (they run
 #            the full fault-injection scenarios and dominate its runtime)
 #   --bench  additionally run the bench-labelled smoke tests against the
@@ -11,6 +11,8 @@
 #   --trace  additionally smoke the flight recorder: a seeded E6 run with
 #            rg-debug --trace-out, validated as loadable Chrome trace JSON
 #            and byte-identical across two same-seed runs
+#   --deadlock  additionally run just the deadlock-labelled tests (hazard
+#            prediction + replay confirmation + recovery soak) in isolation
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,12 +21,14 @@ FAST=0
 BENCH=0
 SOAK=0
 TRACE=0
+DEADLOCK=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --bench) BENCH=1 ;;
     --soak) SOAK=1 ;;
     --trace) TRACE=1 ;;
+    --deadlock) DEADLOCK=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -39,7 +43,8 @@ if [[ "$BENCH" == 1 ]]; then
   ctest --preset bench
   for f in build/bench/BENCH_hotpath.json build/bench/BENCH_slowdown.json \
            build/bench/BENCH_resilience.json \
-           build/bench/BENCH_observability.json; do
+           build/bench/BENCH_observability.json \
+           build/bench/BENCH_deadlock.json; do
     [[ -s "$f" ]] || { echo "missing bench result: $f" >&2; exit 1; }
   done
 fi
@@ -68,6 +73,11 @@ fi
 if [[ "$SOAK" == 1 ]]; then
   echo "== soak: replayable chaos matrix (seeds x fault mixes) =="
   ctest --preset soak
+fi
+
+if [[ "$DEADLOCK" == 1 ]]; then
+  echo "== deadlock: hazard prediction + replay oracle + recovery soak =="
+  ctest --preset deadlock
 fi
 
 echo "== sanitize: ASan + UBSan build + ctest =="

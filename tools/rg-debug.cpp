@@ -16,12 +16,19 @@
 //     --gen-suppressions F  write suppressions for all reported locations
 //     --log FILE         write the warning log to FILE instead of stdout
 //     --deadlock-tool    also run the lock-order checker
+//     --hazard H         seed a proxy lock-inversion hazard (repeatable):
+//                        registrar-vs-upstream | shutdown-inversion |
+//                        gate-locked | recover
 //     --trace-out FILE   write the flight-recorder Chrome trace JSON
 //     --metrics-out FILE write the unified metrics registry as JSON
-//     --explain N        provenance for warning N (0-based): dump the
-//                        recorded events that drove its lockset to empty
+//     --explain N        provenance for warning N (0-based): for data races
+//                        the recorded events that drove its lockset to
+//                        empty; for lock-order / predicted-deadlock reports
+//                        the cycle's acquisition history (lock operations
+//                        of the participating threads and locks)
 //     --profile          print the per-tool hook profile (events/cycles)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -44,11 +51,13 @@ namespace {
       "usage: rg-debug [--testcase N] [--seed S] [--config C] [--mode M]\n"
       "                [--faults paper|none] [--parallelism P]\n"
       "                [--suppressions FILE] [--gen-suppressions FILE]\n"
-      "                [--log FILE] [--deadlock-tool]\n"
+      "                [--log FILE] [--deadlock-tool] [--hazard H]\n"
       "                [--trace-out FILE] [--metrics-out FILE]\n"
       "                [--explain N] [--profile]\n"
       "  configs: original | hwlc | hwlc+dr | extended\n"
-      "  modes:   thread-per-request | thread-pool\n");
+      "  modes:   thread-per-request | thread-pool\n"
+      "  hazards: registrar-vs-upstream | shutdown-inversion | gate-locked\n"
+      "           | recover\n");
   std::exit(code);
 }
 
@@ -128,6 +137,20 @@ int main(int argc, char** argv) {
       log_path = next();
     } else if (arg == "--deadlock-tool") {
       cfg.deadlock_tool = true;
+    } else if (arg == "--hazard") {
+      const std::string hazard = next();
+      if (hazard == "registrar-vs-upstream") {
+        cfg.hazards.registrar_vs_upstream = true;
+        if (cfg.upstream.targets == 0) cfg.upstream.targets = 1;
+      } else if (hazard == "shutdown-inversion") {
+        cfg.hazards.shutdown_inversion = true;
+      } else if (hazard == "gate-locked") {
+        cfg.hazards.gate_locked = true;
+      } else if (hazard == "recover") {
+        cfg.hazards.recover = true;
+      } else {
+        usage(2);
+      }
     } else if (arg == "--trace-out") {
       trace_path = next();
     } else if (arg == "--metrics-out") {
@@ -209,19 +232,63 @@ int main(int argc, char** argv) {
       return 1;
     }
     const core::Report& r = all_reports[explain_index];
-    std::printf("=== explain warning %ld: %s on %u bytes at %s ===\n",
-                explain_index, core::to_string(r.kind), r.access.size,
-                support::global_sites().describe(r.access.site).c_str());
-    if (r.recorder_cursor == 0) {
-      std::printf("no provenance: warning fired with no recorder attached\n");
+    if (r.kind != core::Report::Kind::DataRace) {
+      std::printf("=== explain warning %ld: %s ===\n", explain_index,
+                  core::to_string(r.kind));
+      if (!r.extra.empty()) std::printf("%s\n", r.extra.c_str());
+      if (r.recorder_cursor == 0) {
+        std::printf(
+            "no provenance: warning fired with no recorder attached\n");
+      } else {
+        // The cycle's acquisition history: lock operations and lock-graph
+        // milestones of the participating threads and locks (everything,
+        // for naive inversions that carry no cycle).
+        auto in_cycle = [&](const obs::Event& e) {
+          if (r.cycle_locks.empty() && r.cycle_threads.empty()) return true;
+          if (std::find(r.cycle_threads.begin(), r.cycle_threads.end(),
+                        e.tid) != r.cycle_threads.end())
+            return true;
+          return std::find(r.cycle_locks.begin(), r.cycle_locks.end(),
+                           e.a) != r.cycle_locks.end();
+        };
+        const std::vector<obs::Event> events = recorder.last_events(
+            r.recorder_cursor,
+            [&](const obs::Event& e) {
+              switch (e.kind) {
+                case obs::EventKind::PreLock:
+                case obs::EventKind::PostLock:
+                case obs::EventKind::Unlock:
+                case obs::EventKind::DeadlockAcquire:
+                  return in_cycle(e);
+                case obs::EventKind::DeadlockCycle:
+                  return true;
+                default:
+                  return false;
+              }
+            },
+            48);
+        for (const obs::Event& e : events)
+          std::printf("  %s\n", recorder.describe(e).c_str());
+        std::printf("%zu events (lock operations of the cycle's threads and "
+                    "locks) before the warning\n",
+                    events.size());
+      }
     } else {
-      const std::vector<obs::Event> events =
-          recorder.explain(r.access.addr, r.access.size, r.recorder_cursor, 32);
-      for (const obs::Event& e : events)
-        std::printf("  %s\n", recorder.describe(e).c_str());
-      std::printf("%zu events (accesses on the racing address + lock "
-                  "operations of its threads) before the warning\n",
-                  events.size());
+      std::printf("=== explain warning %ld: %s on %u bytes at %s ===\n",
+                  explain_index, core::to_string(r.kind), r.access.size,
+                  support::global_sites().describe(r.access.site).c_str());
+      if (r.recorder_cursor == 0) {
+        std::printf(
+            "no provenance: warning fired with no recorder attached\n");
+      } else {
+        const std::vector<obs::Event> events = recorder.explain(
+            r.access.addr, r.access.size, r.recorder_cursor, 32);
+        for (const obs::Event& e : events)
+          std::printf("  %s\n", recorder.describe(e).c_str());
+        std::printf("%zu events (accesses on the racing address + lock "
+                    "operations of its threads) before the warning\n",
+                    events.size());
+      }
     }
   }
 
